@@ -1,0 +1,158 @@
+// Shared infrastructure for the paper-reproduction bench binaries.
+//
+// Environment knobs:
+//   MBI_BENCH_SCALE  (float, default 1.0)  scales every dataset size
+//   MBI_BENCH_FULL   (set to 1)            full grids (paper-sized sweeps);
+//                                          default is a quick mode that keeps
+//                                          `for b in bench/*; do $b; done`
+//                                          under a few minutes per binary
+
+#ifndef MBI_BENCH_BENCH_COMMON_H_
+#define MBI_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/bsbf.h"
+#include "baseline/sf_index.h"
+#include "data/dataset.h"
+#include "eval/ground_truth.h"
+#include "eval/pareto.h"
+#include "eval/recall.h"
+#include "eval/workload.h"
+#include "mbi/mbi_index.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace mbi::bench {
+
+inline bool FullMode() {
+  const char* env = std::getenv("MBI_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The recall floor for "QPS at recall" readouts. The paper fixes 0.995 on
+/// datasets 50-500x larger with graph degrees up to 512; at quick-mode scale
+/// (degrees 20-32) the global SF graph tops out around 0.99, so quick mode
+/// uses 0.99 to keep the baseline comparison meaningful. MBI_BENCH_FULL=1
+/// restores the paper's 0.995.
+inline double RecallTarget() { return FullMode() ? 0.995 : 0.99; }
+
+/// Window fractions |D[ts:te)|/|D| on the x-axis of Figures 5 and 9.
+inline std::vector<double> WindowFractions() {
+  if (FullMode()) {
+    return {0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50, 0.70, 0.80, 0.95};
+  }
+  return {0.01, 0.05, 0.10, 0.30, 0.50, 0.80, 0.95};
+}
+
+/// Epsilon grid (paper: 1.0..1.4 step 0.02; quick mode: step 0.10).
+inline std::vector<float> EpsGrid() {
+  std::vector<float> eps;
+  const float step = FullMode() ? 0.02f : 0.10f;
+  for (float e = 1.0f; e <= 1.4001f; e += step) eps.push_back(e);
+  return eps;
+}
+
+inline size_t QueriesPerFraction() { return FullMode() ? 200 : 32; }
+
+/// Builds an MbiIndex for a registry dataset.
+inline std::unique_ptr<MbiIndex> BuildMbi(const BenchDataset& ds,
+                                          size_t num_threads = 1,
+                                          double tau_override = -1.0) {
+  MbiParams p;
+  p.leaf_size = ds.leaf_size;
+  p.tau = tau_override > 0 ? tau_override : ds.tau;
+  p.build = ds.build;
+  p.num_threads = num_threads;
+  auto index = std::make_unique<MbiIndex>(ds.dim, ds.metric, p);
+  MBI_CHECK_OK(index->AddBatch(ds.train.vectors.data(),
+                               ds.train.timestamps.data(), ds.size(),
+                               /*defer_builds=*/num_threads > 1));
+  return index;
+}
+
+/// Builds the SF baseline (one global graph).
+inline std::unique_ptr<SfIndex> BuildSf(const BenchDataset& ds,
+                                        ThreadPool* pool = nullptr) {
+  auto sf = std::make_unique<SfIndex>(ds.dim, ds.metric, ds.build);
+  MBI_CHECK_OK(sf->AddBatch(ds.train.vectors.data(),
+                            ds.train.timestamps.data(), ds.size()));
+  sf->Build(pool);
+  return sf;
+}
+
+/// Measures BSBF (exact; no parameter sweep needed). Returns QPS.
+inline double MeasureBsbfQps(const VectorStore& store, const float* queries,
+                             const std::vector<WindowQuery>& workload,
+                             size_t k) {
+  WallTimer timer;
+  for (const WindowQuery& wq : workload) {
+    SearchResult r = BsbfIndex::Query(
+        store, queries + wq.query_index * store.dim(), k, wq.window);
+    (void)r;
+  }
+  double s = timer.ElapsedSeconds();
+  return s > 0 ? workload.size() / s : 0.0;
+}
+
+/// Epsilon-sweeps MBI and returns its best QPS at the recall target.
+inline QpsAtRecall MeasureMbi(const MbiIndex& index, const BenchDataset& ds,
+                              const std::vector<WindowQuery>& workload,
+                              const std::vector<SearchResult>& truth,
+                              size_t k) {
+  QueryContext ctx(12345);
+  auto run = [&](const WindowQuery& wq, float eps) {
+    SearchParams sp = ds.search;
+    sp.k = k;
+    sp.epsilon = eps;
+    return index.Search(ds.test_query(wq.query_index), wq.window, sp, &ctx);
+  };
+  return BestQpsAtRecall(SweepEpsilon(workload, truth, k, EpsGrid(), run),
+                         RecallTarget());
+}
+
+/// Epsilon-sweeps SF and returns its best QPS at the recall target.
+inline QpsAtRecall MeasureSf(const SfIndex& sf, const BenchDataset& ds,
+                             const std::vector<WindowQuery>& workload,
+                             const std::vector<SearchResult>& truth,
+                             size_t k) {
+  QueryContext ctx(54321);
+  auto run = [&](const WindowQuery& wq, float eps) {
+    SearchParams sp = ds.search;
+    sp.k = k;
+    sp.epsilon = eps;
+    return sf.Search(ds.test_query(wq.query_index), wq.window, sp, &ctx);
+  };
+  return BestQpsAtRecall(SweepEpsilon(workload, truth, k, EpsGrid(), run),
+                         RecallTarget());
+}
+
+/// Formats "123.4" or "123.4*" when the recall target was not met (the star
+/// marks best-effort recall, reported alongside).
+inline std::string FormatQps(const QpsAtRecall& q) {
+  std::string s = FormatFloat(q.qps, 1);
+  if (!q.achieved) {
+    s += "*(r=" + FormatFloat(q.recall, 3) + ")";
+  }
+  return s;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n"
+              "%s\n"
+              "================================================================\n",
+              title.c_str());
+  std::printf("mode: %s   scale: %.2f   recall target: %.3f\n",
+              FullMode() ? "FULL" : "quick", BenchScaleFromEnv(),
+              RecallTarget());
+  std::fflush(stdout);
+}
+
+}  // namespace mbi::bench
+
+#endif  // MBI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,84 @@
+// Figure 5: queries per second vs. query-time-window fraction at
+// recall@k >= 0.995, for MBI / BSBF / SF on all six datasets.
+//
+// Also computes the headline claim: MBI's maximum speedup over the
+// *hypothetical* method that picks the faster of BSBF and SF per
+// configuration (the paper reports up to 10.88x).
+//
+// Quick mode runs k = 10; MBI_BENCH_FULL=1 adds k = 50 and 100 (as in the
+// paper) and densifies the fraction / epsilon grids.
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mbi;
+  using namespace mbi::bench;
+
+  PrintHeader("Figure 5: window fraction vs. QPS at recall@k >= 0.995");
+
+  const std::vector<size_t> ks =
+      FullMode() ? std::vector<size_t>{10, 50, 100} : std::vector<size_t>{10};
+
+  double max_speedup = 0.0;
+  std::string max_speedup_at;
+
+  for (const DatasetSpec& spec : DatasetRegistry()) {
+    BenchDataset ds = MakeDataset(spec);
+    std::printf("\n--- %s (n=%s, dim=%zu, %s) ---\n", ds.name.c_str(),
+                FormatCount(ds.size()).c_str(), ds.dim,
+                MetricName(ds.metric));
+
+    WallTimer build_timer;
+    auto mbi_index = BuildMbi(ds);
+    const double mbi_build = build_timer.ElapsedSeconds();
+    build_timer.Restart();
+    auto sf = BuildSf(ds);
+    const double sf_build = build_timer.ElapsedSeconds();
+    std::printf("build: MBI %.1fs, SF %.1fs\n", mbi_build, sf_build);
+    std::fflush(stdout);
+
+    for (size_t k : ks) {
+      TablePrinter table({"fraction", "MBI qps", "BSBF qps", "SF qps",
+                          "winner", "speedup vs max(BSBF,SF)"});
+      for (double fraction : WindowFractions()) {
+        auto workload =
+            MakeWindowWorkload(mbi_index->store(), fraction,
+                               QueriesPerFraction(), ds.num_test,
+                               /*seed=*/1000 + static_cast<uint64_t>(
+                                            fraction * 1e4));
+        auto truth = ComputeGroundTruth(mbi_index->store(), ds.test.data(),
+                                        workload, k);
+
+        QpsAtRecall mbi_q = MeasureMbi(*mbi_index, ds, workload, truth, k);
+        QpsAtRecall sf_q = MeasureSf(*sf, ds, workload, truth, k);
+        double bsbf_qps =
+            MeasureBsbfQps(mbi_index->store(), ds.test.data(), workload, k);
+
+        const double oracle = std::max(bsbf_qps, sf_q.qps);
+        const double speedup = oracle > 0 ? mbi_q.qps / oracle : 0.0;
+        if (mbi_q.achieved && speedup > max_speedup) {
+          max_speedup = speedup;
+          max_speedup_at = ds.name + " @ " + FormatFloat(fraction * 100, 0) +
+                           "% k=" + std::to_string(k);
+        }
+        const char* winner =
+            mbi_q.qps >= bsbf_qps && mbi_q.qps >= sf_q.qps ? "MBI"
+            : bsbf_qps >= sf_q.qps                         ? "BSBF"
+                                                           : "SF";
+        table.AddRow({FormatFloat(fraction * 100, 0) + "%", FormatQps(mbi_q),
+                      FormatFloat(bsbf_qps, 1), FormatQps(sf_q), winner,
+                      FormatFloat(speedup, 2) + "x"});
+      }
+      std::printf("\nk = %zu\n", k);
+      table.Print();
+    }
+  }
+
+  std::printf("\nMaximum MBI speedup over the hypothetical best-of(BSBF, SF): "
+              "%.2fx (%s)\n",
+              max_speedup, max_speedup_at.c_str());
+  std::printf("(paper reports up to 10.88x on its hardware/datasets)\n");
+  return 0;
+}

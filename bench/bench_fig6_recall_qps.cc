@@ -1,0 +1,66 @@
+// Figure 6: recall@10 vs. queries-per-second trade-off curves on the
+// COMS-like dataset at window fractions 10%, 30%, 80%.
+//
+// Each method's curve is its Pareto frontier over the epsilon grid
+// (1.0..1.4); BSBF appears as its single exact point.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mbi;
+  using namespace mbi::bench;
+
+  PrintHeader("Figure 6: recall@10 vs. QPS on coms-sim (10%/30%/80% windows)");
+
+  BenchDataset ds = MakeDataset(FindDatasetSpec("coms-sim"));
+  std::printf("dataset: %s n=%s dim=%zu\n", ds.name.c_str(),
+              FormatCount(ds.size()).c_str(), ds.dim);
+
+  auto mbi_index = BuildMbi(ds);
+  auto sf = BuildSf(ds);
+  const size_t k = 10;
+
+  for (double fraction : {0.10, 0.30, 0.80}) {
+    auto workload = MakeWindowWorkload(
+        mbi_index->store(), fraction, QueriesPerFraction(), ds.num_test,
+        /*seed=*/42 + static_cast<uint64_t>(fraction * 100));
+    auto truth =
+        ComputeGroundTruth(mbi_index->store(), ds.test.data(), workload, k);
+
+    QueryContext ctx(7);
+    auto run_mbi = [&](const WindowQuery& wq, float eps) {
+      SearchParams sp = ds.search;
+      sp.k = k;
+      sp.epsilon = eps;
+      return mbi_index->Search(ds.test_query(wq.query_index), wq.window, sp,
+                               &ctx);
+    };
+    auto run_sf = [&](const WindowQuery& wq, float eps) {
+      SearchParams sp = ds.search;
+      sp.k = k;
+      sp.epsilon = eps;
+      return sf->Search(ds.test_query(wq.query_index), wq.window, sp, &ctx);
+    };
+
+    auto mbi_points =
+        ParetoFrontier(SweepEpsilon(workload, truth, k, EpsGrid(), run_mbi));
+    auto sf_points =
+        ParetoFrontier(SweepEpsilon(workload, truth, k, EpsGrid(), run_sf));
+    double bsbf_qps =
+        MeasureBsbfQps(mbi_index->store(), ds.test.data(), workload, k);
+
+    std::printf("\nwindow fraction %.0f%%\n", fraction * 100);
+    TablePrinter table({"method", "epsilon", "recall@10", "qps"});
+    for (const auto& p : mbi_points) {
+      table.AddRow({"MBI", FormatFloat(p.epsilon, 2), FormatFloat(p.recall, 4),
+                    FormatFloat(p.qps, 1)});
+    }
+    for (const auto& p : sf_points) {
+      table.AddRow({"SF", FormatFloat(p.epsilon, 2), FormatFloat(p.recall, 4),
+                    FormatFloat(p.qps, 1)});
+    }
+    table.AddRow({"BSBF", "-", "1.0000", FormatFloat(bsbf_qps, 1)});
+    table.Print();
+  }
+  return 0;
+}

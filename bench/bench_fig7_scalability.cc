@@ -1,0 +1,110 @@
+// Figure 7: data scalability on the SIFT-like dataset.
+//   (a) indexing time vs. n, MBI (serial + parallel) and SF
+//   (b) index size vs. n, MBI and SF
+//
+// The paper reports a log-log slope of ~1.29 for MBI (the extra log factor
+// of the hierarchy over NNDescent's empirical n^1.14) and that parallel block
+// building brings MBI's wall-clock close to SF's.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mbi;
+  using namespace mbi::bench;
+
+  PrintHeader("Figure 7: scalability (indexing time and index size vs. n)");
+
+  DatasetSpec spec = FindDatasetSpec("sift-sim");
+  const size_t threads = ThreadPool::DefaultThreads();
+
+  const std::vector<double> scales =
+      FullMode() ? std::vector<double>{0.125, 0.25, 0.5, 1.0, 2.0}
+                 : std::vector<double>{0.125, 0.25, 0.5, 1.0};
+
+  struct Row {
+    size_t n;
+    double mbi_time, mbi_par_time, sf_time;
+    size_t mbi_bytes, sf_bytes, input_bytes;
+  };
+  std::vector<Row> rows;
+
+  // Hold S_L fixed across the sweep (the paper's setting): the level count
+  // then grows with n, producing the O(n log n) size and the extra log
+  // factor in indexing time. MakeDataset would otherwise scale S_L with n.
+  const int64_t fixed_leaf_size =
+      MakeDataset(spec, scales.front() * BenchScaleFromEnv()).leaf_size;
+
+  for (double scale : scales) {
+    BenchDataset ds = MakeDataset(spec, scale * BenchScaleFromEnv());
+    ds.leaf_size = fixed_leaf_size;
+    Row row;
+    row.n = ds.size();
+    row.input_bytes =
+        ds.size() * ds.dim * sizeof(float) + ds.size() * sizeof(Timestamp);
+
+    WallTimer t;
+    auto mbi_serial = BuildMbi(ds, /*num_threads=*/1);
+    row.mbi_time = t.ElapsedSeconds();
+    row.mbi_bytes = mbi_serial->GetStats().index_bytes;
+
+    t.Restart();
+    auto mbi_parallel = BuildMbi(ds, threads);
+    row.mbi_par_time = t.ElapsedSeconds();
+
+    t.Restart();
+    auto sf = BuildSf(ds);
+    row.sf_time = t.ElapsedSeconds();
+    row.sf_bytes = sf->IndexBytes();
+
+    rows.push_back(row);
+    std::printf("n=%-8s MBI %.2fs (par %.2fs, %zu threads), SF %.2fs\n",
+                FormatCount(row.n).c_str(), row.mbi_time, row.mbi_par_time,
+                threads, row.sf_time);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n(a) indexing time\n");
+  TablePrinter ta({"n", "MBI (s)", "MBI parallel (s)", "SF (s)",
+                   "MBI/SF", "par speedup"});
+  for (const Row& r : rows) {
+    ta.AddRow({FormatCount(r.n), FormatFloat(r.mbi_time, 2),
+               FormatFloat(r.mbi_par_time, 2), FormatFloat(r.sf_time, 2),
+               FormatFloat(r.mbi_time / r.sf_time, 2),
+               FormatFloat(r.mbi_time / r.mbi_par_time, 2) + "x"});
+  }
+  ta.Print();
+
+  std::printf("\n(b) index size\n");
+  TablePrinter tb({"n", "input", "MBI index", "SF index", "MBI/input",
+                   "SF/input"});
+  for (const Row& r : rows) {
+    tb.AddRow({FormatCount(r.n), FormatBytes(r.input_bytes),
+               FormatBytes(r.mbi_bytes), FormatBytes(r.sf_bytes),
+               FormatFloat(static_cast<double>(r.mbi_bytes) / r.input_bytes, 2) + "x",
+               FormatFloat(static_cast<double>(r.sf_bytes) / r.input_bytes, 2) + "x"});
+  }
+  tb.Print();
+
+  // Log-log slopes between the extreme points (the paper's "slope" readout).
+  if (rows.size() >= 2) {
+    const Row& a = rows.front();
+    const Row& b = rows.back();
+    auto slope = [&](double ya, double yb) {
+      return std::log2(yb / ya) / std::log2(static_cast<double>(b.n) / a.n);
+    };
+    std::printf("\nlog-log slopes (first->last point):\n");
+    std::printf("  MBI indexing time : %.2f  (paper: ~1.29)\n",
+                slope(a.mbi_time, b.mbi_time));
+    std::printf("  SF  indexing time : %.2f  (NNDescent empirical ~1.14)\n",
+                slope(a.sf_time, b.sf_time));
+    std::printf("  MBI index size    : %.2f  (paper: ~1.29, O(n log n))\n",
+                slope(static_cast<double>(a.mbi_bytes),
+                      static_cast<double>(b.mbi_bytes)));
+    std::printf("  SF  index size    : %.2f  (O(n))\n",
+                slope(static_cast<double>(a.sf_bytes),
+                      static_cast<double>(b.sf_bytes)));
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "baseline/bsbf.h"
+
+#include "core/topk.h"
+#include "index/flat_block_index.h"
+
+namespace mbi {
+
+SearchResult BsbfIndex::Query(const VectorStore& store, const float* query,
+                              size_t k, const TimeWindow& window) {
+  TopKHeap heap(k);
+  if (store.empty()) return {};
+  // Line 1: BinarySearch(ts, te, D); line 2: BruteForce over the slice.
+  const IdRange slice = store.FindRange(window);
+  ExactScan(store, slice, query, /*id_filter=*/nullptr, &heap);
+  return heap.ExtractSorted();
+}
+
+}  // namespace mbi

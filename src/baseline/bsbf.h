@@ -1,0 +1,58 @@
+// BSBF — Binary Search and Brute-Force (paper Algorithm 1).
+//
+// The timestamp-sorted store is the entire index: a query binary-searches
+// the window boundaries (O(log n)) and scans the m in-window vectors with a
+// size-k max-heap (O(m log k)). Exact, so it also serves as the ground-truth
+// generator for recall measurement.
+
+#ifndef MBI_BASELINE_BSBF_H_
+#define MBI_BASELINE_BSBF_H_
+
+#include "core/time_window.h"
+#include "core/types.h"
+#include "core/vector_store.h"
+#include "util/status.h"
+
+namespace mbi {
+
+class BsbfIndex {
+ public:
+  /// Creates an empty index for `dim`-dimensional vectors under `metric`.
+  BsbfIndex(size_t dim, Metric metric) : store_(dim, metric) {}
+
+  /// Wraps an existing store by copying its contents is unnecessary —
+  /// construct from dim/metric and Add, or query any store directly with
+  /// the static Query method below.
+  Status Add(const float* vector, Timestamp t) {
+    return store_.Append(vector, t);
+  }
+
+  Status AddBatch(const float* vectors, const Timestamp* timestamps,
+                  size_t count) {
+    return store_.AppendBatch(vectors, timestamps, count);
+  }
+
+  /// Exact TkNN: the k nearest in-window vectors (fewer if the window holds
+  /// fewer than k).
+  SearchResult Search(const float* query, size_t k,
+                      const TimeWindow& window) const {
+    return Query(store_, query, k, window);
+  }
+
+  /// Algorithm 1 over any timestamp-sorted store.
+  static SearchResult Query(const VectorStore& store, const float* query,
+                            size_t k, const TimeWindow& window);
+
+  const VectorStore& store() const { return store_; }
+  size_t size() const { return store_.size(); }
+
+  /// BSBF's only structure is the sorted store itself.
+  size_t MemoryBytes() const { return store_.MemoryBytes(); }
+
+ private:
+  VectorStore store_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_BASELINE_BSBF_H_

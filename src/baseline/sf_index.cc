@@ -1,0 +1,35 @@
+#include "baseline/sf_index.h"
+
+#include "core/topk.h"
+#include "graph/nndescent.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mbi {
+
+void SfIndex::Build(ThreadPool* pool) {
+  WallTimer timer;
+  graph_ = BuildKnnGraph(store_.data(), store_.size(), store_.distance(),
+                         params_, pool);
+  build_seconds_ = timer.ElapsedSeconds();
+  built_ = true;
+}
+
+SearchResult SfIndex::Search(const float* query, const TimeWindow& window,
+                             const SearchParams& search, QueryContext* ctx,
+                             SearchStats* stats) const {
+  MBI_CHECK(built_);
+  TopKHeap heap(search.k);
+  if (store_.empty()) return {};
+  const IdRange qrange = store_.FindRange(window);
+  if (qrange.Empty()) return {};
+  const bool all = qrange.begin == 0 &&
+                   qrange.end == static_cast<VectorId>(store_.size());
+  ctx->searcher()->Search(store_, graph_,
+                          IdRange{0, static_cast<VectorId>(store_.size())},
+                          query, search, all ? nullptr : &qrange, ctx->rng(),
+                          &heap, stats);
+  return heap.ExtractSorted();
+}
+
+}  // namespace mbi

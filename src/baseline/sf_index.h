@@ -1,0 +1,66 @@
+// SF — Search and Filtering (paper Section 3.2.2).
+//
+// A single kNN graph over the whole database, queried with Algorithm 2: the
+// traversal keeps searching until k in-window vectors are found (or the
+// candidate set is exhausted). Fast for long windows, slow for short ones —
+// the weakness MBI's hierarchy removes.
+
+#ifndef MBI_BASELINE_SF_INDEX_H_
+#define MBI_BASELINE_SF_INDEX_H_
+
+#include "core/time_window.h"
+#include "core/types.h"
+#include "core/vector_store.h"
+#include "graph/builder_params.h"
+#include "graph/knn_graph.h"
+#include "graph/search.h"
+#include "mbi/mbi_index.h"  // QueryContext
+#include "util/status.h"
+
+namespace mbi {
+
+class ThreadPool;
+
+class SfIndex {
+ public:
+  SfIndex(size_t dim, Metric metric, const GraphBuildParams& params)
+      : params_(params), store_(dim, metric) {}
+
+  /// Appends vectors; call Build() before searching.
+  Status AddBatch(const float* vectors, const Timestamp* timestamps,
+                  size_t count) {
+    built_ = false;
+    return store_.AppendBatch(vectors, timestamps, count);
+  }
+
+  /// (Re)builds the global kNN graph over all stored vectors.
+  void Build(ThreadPool* pool = nullptr);
+
+  bool built() const { return built_; }
+
+  /// Approximate TkNN via time-filtered graph search (Algorithm 2).
+  SearchResult Search(const float* query, const TimeWindow& window,
+                      const SearchParams& search, QueryContext* ctx,
+                      SearchStats* stats = nullptr) const;
+
+  const VectorStore& store() const { return store_; }
+  const KnnGraph& graph() const { return graph_; }
+  size_t size() const { return store_.size(); }
+
+  /// Bytes of the graph structure (SF's index beyond the raw data).
+  size_t IndexBytes() const { return graph_.MemoryBytes(); }
+
+  /// Seconds spent in the last Build().
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  GraphBuildParams params_;
+  VectorStore store_;
+  KnnGraph graph_;
+  bool built_ = false;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_BASELINE_SF_INDEX_H_

@@ -1,0 +1,120 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mbi {
+
+bool ParseMetric(const std::string& name, Metric* out) {
+  if (name == "l2") {
+    *out = Metric::kL2;
+  } else if (name == "angular") {
+    *out = Metric::kAngular;
+  } else if (name == "ip") {
+    *out = Metric::kInnerProduct;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2: return "l2";
+    case Metric::kAngular: return "angular";
+    case Metric::kInnerProduct: return "ip";
+  }
+  return "unknown";
+}
+
+float L2SquaredDistance(const float* a, const float* b, size_t dim) {
+  // Four accumulators break the dependency chain so GCC/Clang vectorize this
+  // into packed FMAs without -ffast-math.
+  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    float d0 = a[i] - b[i];
+    float d1 = a[i + 1] - b[i + 1];
+    float d2 = a[i + 2] - b[i + 2];
+    float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  float s = (s0 + s1) + (s2 + s3);
+  for (; i < dim; ++i) {
+    float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+// dot(a,b), |a|^2, |b|^2 in one pass.
+void DotAndNorms(const float* a, const float* b, size_t dim, float* dot,
+                 float* na, float* nb) {
+  float d0 = 0, d1 = 0;
+  float a0 = 0, a1 = 0;
+  float b0 = 0, b1 = 0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    d0 += a[i] * b[i];
+    d1 += a[i + 1] * b[i + 1];
+    a0 += a[i] * a[i];
+    a1 += a[i + 1] * a[i + 1];
+    b0 += b[i] * b[i];
+    b1 += b[i + 1] * b[i + 1];
+  }
+  float d = d0 + d1, na2 = a0 + a1, nb2 = b0 + b1;
+  for (; i < dim; ++i) {
+    d += a[i] * b[i];
+    na2 += a[i] * a[i];
+    nb2 += b[i] * b[i];
+  }
+  *dot = d;
+  *na = na2;
+  *nb = nb2;
+}
+
+}  // namespace
+
+float AngularDistance(const float* a, const float* b, size_t dim) {
+  float dot, na, nb;
+  DotAndNorms(a, b, dim, &dot, &na, &nb);
+  float denom = std::sqrt(na * nb);
+  if (denom <= 0.0f) return 1.0f;
+  return 1.0f - dot / denom;
+}
+
+float NegativeInnerProduct(const float* a, const float* b, size_t dim) {
+  float s0 = 0, s1 = 0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+  }
+  float s = s0 + s1;
+  for (; i < dim; ++i) s += a[i] * b[i];
+  return -s;
+}
+
+DistanceFunction::DistanceFunction(Metric metric, size_t dim)
+    : metric_(metric), dim_(dim) {
+  MBI_CHECK(dim > 0);
+  switch (metric) {
+    case Metric::kL2:
+      fn_ = &L2SquaredDistance;
+      break;
+    case Metric::kAngular:
+      fn_ = &AngularDistance;
+      break;
+    case Metric::kInnerProduct:
+      fn_ = &NegativeInnerProduct;
+      break;
+  }
+}
+
+}  // namespace mbi

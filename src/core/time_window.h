@@ -1,0 +1,54 @@
+// Half-open time windows and the overlap ratio from the paper's Section 4.3.
+
+#ifndef MBI_CORE_TIME_WINDOW_H_
+#define MBI_CORE_TIME_WINDOW_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "core/types.h"
+
+namespace mbi {
+
+/// A half-open interval [start, end) on the time axis, matching the paper's
+/// D[ta:tb] = { (v,t) : ta <= t < tb }.
+struct TimeWindow {
+  Timestamp start = std::numeric_limits<Timestamp>::min();
+  Timestamp end = std::numeric_limits<Timestamp>::max();
+
+  /// A window covering all representable time.
+  static TimeWindow All() { return TimeWindow{}; }
+
+  bool Contains(Timestamp t) const { return start <= t && t < end; }
+
+  /// Length of the window (0 if degenerate or inverted).
+  Timestamp Length() const { return end > start ? end - start : 0; }
+
+  bool Empty() const { return end <= start; }
+
+  /// Length of the intersection with `other` (0 if disjoint).
+  Timestamp OverlapLength(const TimeWindow& other) const {
+    Timestamp lo = std::max(start, other.start);
+    Timestamp hi = std::min(end, other.end);
+    return hi > lo ? hi - lo : 0;
+  }
+
+  friend bool operator==(const TimeWindow& a, const TimeWindow& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+/// Overlap ratio r_o(q, B) from Section 4.3: the fraction of block window
+/// `block` covered by query window `query`. A degenerate block window (all
+/// timestamps equal) counts as fully covered when the query touches it.
+inline double OverlapRatio(const TimeWindow& query, const TimeWindow& block) {
+  if (block.Length() <= 0) {
+    return query.Contains(block.start) ? 1.0 : 0.0;
+  }
+  return static_cast<double>(query.OverlapLength(block)) /
+         static_cast<double>(block.Length());
+}
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_TIME_WINDOW_H_

@@ -1,0 +1,43 @@
+// Fundamental identifiers and result types shared across the library.
+
+#ifndef MBI_CORE_TYPES_H_
+#define MBI_CORE_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mbi {
+
+/// Position of a vector in a VectorStore (also its arrival order). Vectors
+/// are appended in non-decreasing timestamp order, so ids are time-sorted.
+using VectorId = int64_t;
+
+/// A point on the (totally ordered) time axis. Any unit works as long as
+/// callers are consistent: unix seconds, release year, or the arrival index
+/// itself (the paper's "virtual timestamp" for datasets without time).
+using Timestamp = int64_t;
+
+/// Sentinel for "no vector".
+inline constexpr VectorId kInvalidVectorId = -1;
+
+/// A single (distance, id) search hit. Smaller distance == closer.
+struct Neighbor {
+  float distance = 0.0f;
+  VectorId id = kInvalidVectorId;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    // Ties broken by id so sorts are deterministic.
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.distance == b.distance && a.id == b.id;
+  }
+};
+
+/// Result of a (T)kNN query: up to k hits sorted by increasing distance.
+using SearchResult = std::vector<Neighbor>;
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_TYPES_H_

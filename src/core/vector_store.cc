@@ -1,0 +1,51 @@
+#include "core/vector_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mbi {
+
+VectorStore::VectorStore(size_t dim, Metric metric) : dist_(metric, dim) {}
+
+Status VectorStore::Append(const float* vector, Timestamp t) {
+  if (!timestamps_.empty() && t < timestamps_.back()) {
+    return Status::FailedPrecondition(
+        "timestamps must be appended in non-decreasing order");
+  }
+  data_.insert(data_.end(), vector, vector + dist_.dim());
+  timestamps_.push_back(t);
+  return Status::Ok();
+}
+
+Status VectorStore::AppendBatch(const float* vectors,
+                                const Timestamp* timestamps, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    MBI_RETURN_IF_ERROR(Append(vectors + i * dist_.dim(), timestamps[i]));
+  }
+  return Status::Ok();
+}
+
+IdRange VectorStore::FindRange(const TimeWindow& window) const {
+  if (window.Empty()) return IdRange{0, 0};
+  auto lo = std::lower_bound(timestamps_.begin(), timestamps_.end(),
+                             window.start);
+  auto hi = std::lower_bound(lo, timestamps_.end(), window.end);
+  return IdRange{lo - timestamps_.begin(), hi - timestamps_.begin()};
+}
+
+TimeWindow VectorStore::RangeWindow(const IdRange& range) const {
+  MBI_CHECK(!range.Empty());
+  MBI_CHECK(range.begin >= 0 &&
+            static_cast<size_t>(range.end) <= timestamps_.size());
+  TimeWindow w;
+  w.start = timestamps_[static_cast<size_t>(range.begin)];
+  if (static_cast<size_t>(range.end) < timestamps_.size()) {
+    w.end = timestamps_[static_cast<size_t>(range.end)];
+  } else {
+    w.end = timestamps_.back() + 1;
+  }
+  return w;
+}
+
+}  // namespace mbi

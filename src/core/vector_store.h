@@ -1,0 +1,95 @@
+// Append-only storage for timestamped vectors.
+//
+// Vectors must arrive in non-decreasing timestamp order (the paper's
+// time-accumulating setting), so the store doubles as the sorted array that
+// BSBF's binary search requires and as the backing slice store for MBI
+// blocks: every block references a contiguous [begin, end) range and never
+// copies vector data.
+
+#ifndef MBI_CORE_VECTOR_STORE_H_
+#define MBI_CORE_VECTOR_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/time_window.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace mbi {
+
+/// A contiguous range of vector ids [begin, end).
+struct IdRange {
+  VectorId begin = 0;
+  VectorId end = 0;
+
+  int64_t size() const { return end - begin; }
+  bool Empty() const { return end <= begin; }
+
+  friend bool operator==(const IdRange& a, const IdRange& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+class VectorStore {
+ public:
+  /// Creates an empty store for `dim`-dimensional vectors under `metric`.
+  VectorStore(size_t dim, Metric metric);
+
+  /// Appends one timestamped vector. Fails with FailedPrecondition if `t`
+  /// precedes the last appended timestamp.
+  Status Append(const float* vector, Timestamp t);
+
+  /// Appends `count` vectors stored row-major with per-row timestamps.
+  Status AppendBatch(const float* vectors, const Timestamp* timestamps,
+                     size_t count);
+
+  /// Number of stored vectors.
+  size_t size() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+  size_t dim() const { return dist_.dim(); }
+  Metric metric() const { return dist_.metric(); }
+  const DistanceFunction& distance() const { return dist_; }
+
+  /// Pointer to vector `id`'s floats.
+  const float* GetVector(VectorId id) const {
+    return data_.data() + static_cast<size_t>(id) * dist_.dim();
+  }
+
+  Timestamp GetTimestamp(VectorId id) const {
+    return timestamps_[static_cast<size_t>(id)];
+  }
+
+  const Timestamp* timestamps() const { return timestamps_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Ids of all vectors whose timestamp lies in the half-open `window`
+  /// (binary search; O(log n)). The returned range is contiguous because the
+  /// store is timestamp-sorted.
+  IdRange FindRange(const TimeWindow& window) const;
+
+  /// Time window spanned by ids [range.begin, range.end): starts at the first
+  /// vector's timestamp; the exclusive upper bound is the timestamp of the
+  /// first vector *after* the range, or last+1 when the range touches the end
+  /// of the store (the paper's "exclusive upper timestamp" convention).
+  TimeWindow RangeWindow(const IdRange& range) const;
+
+  /// Timestamp of the first / last stored vector. Store must be non-empty.
+  Timestamp FirstTimestamp() const { return timestamps_.front(); }
+  Timestamp LastTimestamp() const { return timestamps_.back(); }
+
+  /// Bytes used by raw vector data + timestamps.
+  size_t MemoryBytes() const {
+    return data_.size() * sizeof(float) + timestamps_.size() * sizeof(Timestamp);
+  }
+
+ private:
+  DistanceFunction dist_;
+  std::vector<float> data_;           // row-major, size() * dim floats
+  std::vector<Timestamp> timestamps_;  // non-decreasing
+};
+
+}  // namespace mbi
+
+#endif  // MBI_CORE_VECTOR_STORE_H_

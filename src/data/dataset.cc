@@ -1,0 +1,155 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace mbi {
+
+std::vector<DatasetSpec> DatasetRegistry() {
+  // Dimensions and metrics follow the paper's Table 2; sizes are scaled to a
+  // single laptop core (grow with MBI_BENCH_SCALE). Degrees / M_C follow the
+  // spirit of Table 3 (larger for harder datasets), scaled with the data.
+  std::vector<DatasetSpec> specs;
+
+  {
+    DatasetSpec s;
+    s.name = "movielens-sim";
+    s.simulates = "MovieLens (57,571 x 32, angular)";
+    s.base_train = 24000;
+    s.num_test = 100;
+    s.gen = {.dim = 32, .num_clusters = 24, .cluster_std = 1.0,
+             .time_drift = 0.6, .normalize = true, .intrinsic_dim = 16,
+             .seed = 101};
+    s.metric = Metric::kAngular;
+    s.degree = 20;
+    s.max_candidates = 192;
+    s.leaf_size = 1500;  // 16 leaves at scale 1
+    s.tau = 0.5;
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.name = "coms-sim";
+    s.simulates = "COMS satellite (291,180 x 128, angular)";
+    s.base_train = 32000;
+    s.num_test = 100;
+    s.gen = {.dim = 128, .num_clusters = 32, .cluster_std = 1.0,
+             .time_drift = 0.8, .normalize = true, .intrinsic_dim = 24,
+             .seed = 202};
+    s.metric = Metric::kAngular;
+    s.degree = 24;
+    s.max_candidates = 192;
+    s.leaf_size = 1000;  // 32 leaves
+    s.tau = 0.4;
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.name = "glove-sim";
+    s.simulates = "GloVe-100 (1,183,514 x 100, angular)";
+    s.base_train = 40000;
+    s.num_test = 200;
+    s.gen = {.dim = 100, .num_clusters = 40, .cluster_std = 1.1,
+             .time_drift = 0.5, .normalize = true, .intrinsic_dim = 24,
+             .seed = 303};
+    s.metric = Metric::kAngular;
+    s.degree = 24;
+    s.max_candidates = 192;
+    s.leaf_size = 2500;  // 16 leaves
+    s.tau = 0.5;
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.name = "sift-sim";
+    s.simulates = "SIFT1M (1,000,000 x 128, euclidean)";
+    s.base_train = 40000;
+    s.num_test = 200;
+    s.gen = {.dim = 128, .num_clusters = 32, .cluster_std = 1.0,
+             .time_drift = 0.6, .normalize = false, .intrinsic_dim = 24,
+             .seed = 404};
+    s.metric = Metric::kL2;
+    s.degree = 24;
+    s.max_candidates = 192;
+    s.leaf_size = 1250;  // 32 leaves
+    s.tau = 0.5;
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.name = "gist-sim";
+    s.simulates = "GIST1M (1,000,000 x 960, euclidean)";
+    s.base_train = 8000;
+    s.num_test = 50;
+    s.gen = {.dim = 960, .num_clusters = 16, .cluster_std = 1.0,
+             .time_drift = 0.6, .normalize = false, .intrinsic_dim = 24,
+             .seed = 505};
+    s.metric = Metric::kL2;
+    s.degree = 32;
+    s.max_candidates = 256;
+    s.leaf_size = 500;  // 16 leaves
+    s.tau = 0.5;
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.name = "deep-sim";
+    s.simulates = "DEEP1B subset (9,990,000 x 96, angular)";
+    s.base_train = 48000;
+    s.num_test = 200;
+    s.gen = {.dim = 96, .num_clusters = 32, .cluster_std = 1.0,
+             .time_drift = 0.7, .normalize = true, .intrinsic_dim = 24,
+             .seed = 606};
+    s.metric = Metric::kAngular;
+    s.degree = 20;
+    s.max_candidates = 240;
+    s.leaf_size = 1500;  // 32 leaves
+    s.tau = 0.5;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+DatasetSpec FindDatasetSpec(const std::string& name) {
+  for (const auto& spec : DatasetRegistry()) {
+    if (spec.name == name) return spec;
+  }
+  MBI_CHECK(false && "unknown dataset name");
+  return {};
+}
+
+double BenchScaleFromEnv() {
+  const char* env = std::getenv("MBI_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+BenchDataset MakeDataset(const DatasetSpec& spec, double scale) {
+  if (scale <= 0.0) scale = BenchScaleFromEnv();
+
+  BenchDataset out;
+  out.name = spec.name;
+  out.simulates = spec.simulates;
+  out.dim = spec.gen.dim;
+  out.metric = spec.metric;
+
+  const size_t n =
+      std::max<size_t>(64, static_cast<size_t>(spec.base_train * scale));
+  out.train = GenerateSynthetic(spec.gen, n);
+  out.num_test = spec.num_test;
+  out.test = GenerateQueries(spec.gen, spec.num_test);
+
+  out.build.degree = spec.degree;
+  out.build.seed = spec.gen.seed * 77 + 1;
+  out.search.max_candidates = spec.max_candidates;
+  out.search.num_entry_points = spec.num_entry_points;
+  out.leaf_size = std::max<int64_t>(
+      16, static_cast<int64_t>(spec.leaf_size * scale));
+  out.tau = spec.tau;
+  return out;
+}
+
+}  // namespace mbi

@@ -1,0 +1,76 @@
+// Benchmark dataset registry.
+//
+// One BenchDataset per dataset in the paper's Table 2, with dimension and
+// metric matched and size scaled to laptop budgets; each carries the default
+// graph/MBI parameters of Table 3 (degrees and M_C scaled with the data).
+// Set the MBI_BENCH_SCALE environment variable (float, default 1.0) to grow
+// or shrink every dataset proportionally.
+
+#ifndef MBI_DATA_DATASET_H_
+#define MBI_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/types.h"
+#include "data/synthetic.h"
+#include "graph/builder_params.h"
+#include "graph/search.h"
+#include "mbi/mbi_index.h"
+
+namespace mbi {
+
+/// Everything a bench needs to run one dataset.
+struct BenchDataset {
+  std::string name;        ///< e.g. "movielens-sim"
+  std::string simulates;   ///< the paper dataset this stands in for
+  size_t dim = 0;
+  Metric metric = Metric::kL2;
+
+  /// Train vectors with timestamps 0..n-1, plus held-out query vectors.
+  SyntheticData train;
+  std::vector<float> test;
+  size_t num_test = 0;
+
+  /// Table 3 defaults for this dataset.
+  GraphBuildParams build;
+  SearchParams search;     ///< M_C, entry points (epsilon swept by benches)
+  int64_t leaf_size = 0;   ///< S_L
+  double tau = 0.5;
+
+  const float* test_query(size_t i) const { return test.data() + i * dim; }
+  size_t size() const { return train.size(); }
+};
+
+/// Descriptor used to materialize a BenchDataset.
+struct DatasetSpec {
+  std::string name;
+  std::string simulates;
+  size_t base_train = 0;  ///< size at scale 1.0
+  size_t num_test = 0;
+  SyntheticParams gen;
+  Metric metric = Metric::kL2;
+  size_t degree = 24;
+  size_t max_candidates = 48;
+  size_t num_entry_points = 8;
+  int64_t leaf_size = 0;
+  double tau = 0.5;
+};
+
+/// The six specs mirroring the paper's Table 2/3.
+std::vector<DatasetSpec> DatasetRegistry();
+
+/// Finds a spec by name; aborts if unknown.
+DatasetSpec FindDatasetSpec(const std::string& name);
+
+/// Generates the dataset at `scale` (scale <= 0 reads MBI_BENCH_SCALE, or
+/// 1.0). Deterministic.
+BenchDataset MakeDataset(const DatasetSpec& spec, double scale = 0.0);
+
+/// Reads MBI_BENCH_SCALE from the environment (default 1.0).
+double BenchScaleFromEnv();
+
+}  // namespace mbi
+
+#endif  // MBI_DATA_DATASET_H_

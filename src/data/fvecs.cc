@@ -1,0 +1,69 @@
+#include "data/fvecs.h"
+
+#include <cstdio>
+
+namespace mbi {
+
+namespace {
+
+template <typename T>
+Result<FvecsData> ReadRecords(const std::string& path, size_t max_count) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open: " + path);
+
+  FvecsData out;
+  std::vector<T> row;
+  for (;;) {
+    if (max_count > 0 && out.count == max_count) break;
+    int32_t dim = 0;
+    size_t got = std::fread(&dim, sizeof(dim), 1, f);
+    if (got == 0) break;  // clean EOF
+    if (dim <= 0) {
+      std::fclose(f);
+      return Status::IoError("bad record dimension in " + path);
+    }
+    if (out.dim == 0) {
+      out.dim = static_cast<size_t>(dim);
+    } else if (out.dim != static_cast<size_t>(dim)) {
+      std::fclose(f);
+      return Status::IoError("inconsistent dimensions in " + path);
+    }
+    row.resize(out.dim);
+    if (std::fread(row.data(), sizeof(T), out.dim, f) != out.dim) {
+      std::fclose(f);
+      return Status::IoError("truncated record in " + path);
+    }
+    for (T v : row) out.values.push_back(static_cast<float>(v));
+    ++out.count;
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+Result<FvecsData> ReadFvecs(const std::string& path, size_t max_count) {
+  return ReadRecords<float>(path, max_count);
+}
+
+Result<FvecsData> ReadIvecsAsFloat(const std::string& path, size_t max_count) {
+  return ReadRecords<int32_t>(path, max_count);
+}
+
+Status WriteFvecs(const std::string& path, const float* data, size_t count,
+                  size_t dim) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  const int32_t d32 = static_cast<int32_t>(dim);
+  for (size_t i = 0; i < count; ++i) {
+    if (std::fwrite(&d32, sizeof(d32), 1, f) != 1 ||
+        std::fwrite(data + i * dim, sizeof(float), dim, f) != dim) {
+      std::fclose(f);
+      return Status::IoError("short write: " + path);
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IoError("fclose failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace mbi

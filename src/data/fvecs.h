@@ -1,0 +1,42 @@
+// fvecs / ivecs file IO (the TEXMEX format used by SIFT1M / GIST1M).
+//
+// Each record is an int32 dimension followed by `dim` little-endian values.
+// Drop the real files next to the benches to run on the paper's actual data
+// instead of the synthetic stand-ins.
+
+#ifndef MBI_DATA_FVECS_H_
+#define MBI_DATA_FVECS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mbi {
+
+/// Row-major matrix loaded from an fvecs/ivecs file.
+struct FvecsData {
+  size_t dim = 0;
+  size_t count = 0;
+  std::vector<float> values;  // count * dim
+
+  const float* row(size_t i) const { return values.data() + i * dim; }
+};
+
+/// Reads at most `max_count` records (0 = all). All records must share one
+/// dimension.
+Result<FvecsData> ReadFvecs(const std::string& path, size_t max_count = 0);
+
+/// Writes `count` row-major vectors of dimension `dim` in fvecs format.
+Status WriteFvecs(const std::string& path, const float* data, size_t count,
+                  size_t dim);
+
+/// ivecs variant (int32 payloads), converted to float on read — convenient
+/// for ground-truth id files.
+Result<FvecsData> ReadIvecsAsFloat(const std::string& path,
+                                   size_t max_count = 0);
+
+}  // namespace mbi
+
+#endif  // MBI_DATA_FVECS_H_

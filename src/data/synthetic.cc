@@ -1,0 +1,162 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mbi {
+
+namespace {
+
+// Dimensionality the cluster mixture is sampled in: the latent space when an
+// intrinsic dimension is configured, the ambient space otherwise.
+size_t LatentDim(const SyntheticParams& p) {
+  return (p.intrinsic_dim > 0 && p.intrinsic_dim < p.dim) ? p.intrinsic_dim
+                                                          : p.dim;
+}
+
+// Cluster centers are standard normal in the latent space.
+std::vector<float> MakeCenters(const SyntheticParams& p) {
+  Rng rng(p.seed);
+  std::vector<float> centers(p.num_clusters * LatentDim(p));
+  for (auto& c : centers) c = static_cast<float>(rng.NextGaussian());
+  return centers;
+}
+
+// Random linear embedding latent -> ambient, row-major (dim x latent),
+// scaled so embedded vectors keep comparable norms.
+std::vector<float> MakeEmbedding(const SyntheticParams& p) {
+  const size_t latent = LatentDim(p);
+  if (latent == p.dim) return {};
+  Rng rng(p.seed ^ 0xEEAABB);
+  std::vector<float> map(p.dim * latent);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(latent));
+  for (auto& m : map) m = scale * static_cast<float>(rng.NextGaussian());
+  return map;
+}
+
+// Each cluster's activity peaks at a (seeded) position in [0,1] on the
+// progress axis; time_drift narrows the peaks.
+std::vector<double> MakePeaks(const SyntheticParams& p) {
+  Rng rng(p.seed ^ 0xABCDEF);
+  std::vector<double> peaks(p.num_clusters);
+  for (auto& peak : peaks) peak = rng.NextDouble();
+  return peaks;
+}
+
+// Samples a cluster for an item at progress `t01` in [0,1].
+size_t SampleCluster(const std::vector<double>& peaks, double t01,
+                     double drift, Rng* rng, std::vector<double>* scratch) {
+  const size_t c = peaks.size();
+  if (drift <= 0.0) return rng->NextBounded(c);
+  // Width shrinks as drift grows; a uniform floor keeps every cluster
+  // reachable at all times.
+  const double width = 0.05 + (1.0 - drift) * 0.5;
+  const double floor = (1.0 - drift) + 1e-3;
+  auto& w = *scratch;
+  w.resize(c);
+  double total = 0.0;
+  for (size_t i = 0; i < c; ++i) {
+    double d = t01 - peaks[i];
+    w[i] = floor + std::exp(-(d * d) / (2.0 * width * width));
+    total += w[i];
+  }
+  double r = rng->NextDouble() * total;
+  for (size_t i = 0; i < c; ++i) {
+    r -= w[i];
+    if (r <= 0.0) return i;
+  }
+  return c - 1;
+}
+
+// Shared per-point generation state.
+struct Generator {
+  explicit Generator(const SyntheticParams& p)
+      : params(p),
+        latent(LatentDim(p)),
+        centers(MakeCenters(p)),
+        embedding(MakeEmbedding(p)),
+        peaks(MakePeaks(p)),
+        latent_scratch(latent) {}
+
+  void Emit(size_t cluster, Rng* rng, float* out) {
+    const float* center = centers.data() + cluster * latent;
+    // Latent point: cluster center + isotropic noise.
+    for (size_t d = 0; d < latent; ++d) {
+      latent_scratch[d] =
+          center[d] +
+          static_cast<float>(params.cluster_std * rng->NextGaussian());
+    }
+    double norm_sq = 0.0;
+    if (embedding.empty()) {
+      for (size_t d = 0; d < latent; ++d) {
+        out[d] = latent_scratch[d];
+        norm_sq += static_cast<double>(out[d]) * out[d];
+      }
+    } else {
+      for (size_t d = 0; d < params.dim; ++d) {
+        const float* row = embedding.data() + d * latent;
+        float v = 0;
+        for (size_t j = 0; j < latent; ++j) v += row[j] * latent_scratch[j];
+        out[d] = v;
+        norm_sq += static_cast<double>(v) * v;
+      }
+    }
+    if (params.normalize && norm_sq > 0.0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+      for (size_t d = 0; d < params.dim; ++d) out[d] *= inv;
+    }
+  }
+
+  const SyntheticParams& params;
+  const size_t latent;
+  std::vector<float> centers;
+  std::vector<float> embedding;
+  std::vector<double> peaks;
+  std::vector<float> latent_scratch;
+};
+
+}  // namespace
+
+SyntheticData GenerateSynthetic(const SyntheticParams& params, size_t count) {
+  MBI_CHECK(params.dim > 0 && params.num_clusters > 0);
+  Generator gen(params);
+
+  SyntheticData out;
+  out.dim = params.dim;
+  out.vectors.resize(count * params.dim);
+  out.timestamps.resize(count);
+
+  Rng rng(params.seed ^ 0x5A5A5A5A);
+  std::vector<double> scratch;
+  for (size_t i = 0; i < count; ++i) {
+    const double t01 =
+        count > 1 ? static_cast<double>(i) / static_cast<double>(count - 1)
+                  : 0.0;
+    const size_t cluster =
+        SampleCluster(gen.peaks, t01, params.time_drift, &rng, &scratch);
+    gen.Emit(cluster, &rng, out.vectors.data() + i * params.dim);
+    out.timestamps[i] = static_cast<Timestamp>(i);
+  }
+  return out;
+}
+
+std::vector<float> GenerateQueries(const SyntheticParams& params,
+                                   size_t count) {
+  Generator gen(params);
+
+  std::vector<float> out(count * params.dim);
+  Rng rng(params.seed ^ 0x123456789ULL);
+  std::vector<double> scratch;
+  for (size_t i = 0; i < count; ++i) {
+    const double t01 = rng.NextDouble();
+    const size_t cluster =
+        SampleCluster(gen.peaks, t01, params.time_drift, &rng, &scratch);
+    gen.Emit(cluster, &rng, out.data() + i * params.dim);
+  }
+  return out;
+}
+
+}  // namespace mbi

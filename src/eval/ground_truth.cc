@@ -1,0 +1,25 @@
+#include "eval/ground_truth.h"
+
+#include "baseline/bsbf.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+
+std::vector<SearchResult> ComputeGroundTruth(
+    const VectorStore& store, const float* queries,
+    const std::vector<WindowQuery>& workload, size_t k, ThreadPool* pool) {
+  std::vector<SearchResult> truth(workload.size());
+  auto compute = [&](size_t i) {
+    const WindowQuery& wq = workload[i];
+    truth[i] = BsbfIndex::Query(
+        store, queries + wq.query_index * store.dim(), k, wq.window);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(workload.size(), compute);
+  } else {
+    for (size_t i = 0; i < workload.size(); ++i) compute(i);
+  }
+  return truth;
+}
+
+}  // namespace mbi

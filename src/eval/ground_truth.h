@@ -1,0 +1,26 @@
+// Exact TkNN ground truth via BSBF (Algorithm 1 is exact).
+
+#ifndef MBI_EVAL_GROUND_TRUTH_H_
+#define MBI_EVAL_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "core/time_window.h"
+#include "core/types.h"
+#include "core/vector_store.h"
+#include "eval/workload.h"
+
+namespace mbi {
+
+class ThreadPool;
+
+/// Exact top-k answers for each workload entry. `queries` is row-major with
+/// store.dim() floats per query; workload[i].query_index selects the row.
+std::vector<SearchResult> ComputeGroundTruth(
+    const VectorStore& store, const float* queries,
+    const std::vector<WindowQuery>& workload, size_t k,
+    ThreadPool* pool = nullptr);
+
+}  // namespace mbi
+
+#endif  // MBI_EVAL_GROUND_TRUTH_H_

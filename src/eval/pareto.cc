@@ -1,0 +1,81 @@
+#include "eval/pareto.h"
+
+#include <algorithm>
+
+#include "eval/recall.h"
+#include "util/timer.h"
+
+namespace mbi {
+
+std::vector<float> DefaultEpsilonGrid() {
+  std::vector<float> eps;
+  for (int i = 0; i <= 20; ++i) eps.push_back(1.0f + 0.02f * i);
+  return eps;
+}
+
+std::vector<ParetoPoint> SweepEpsilon(const std::vector<WindowQuery>& workload,
+                                      const std::vector<SearchResult>& truth,
+                                      size_t k,
+                                      const std::vector<float>& epsilons,
+                                      const EpsilonQueryFn& run) {
+  std::vector<ParetoPoint> out;
+  out.reserve(epsilons.size());
+  std::vector<SearchResult> results(workload.size());
+  for (float eps : epsilons) {
+    WallTimer timer;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      results[i] = run(workload[i], eps);
+    }
+    const double seconds = timer.ElapsedSeconds();
+    ParetoPoint p;
+    p.epsilon = eps;
+    p.recall = MeanRecall(results, truth, k);
+    p.qps = seconds > 0.0
+                ? static_cast<double>(workload.size()) / seconds
+                : 0.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+QpsAtRecall BestQpsAtRecall(const std::vector<ParetoPoint>& points,
+                            double target_recall) {
+  QpsAtRecall best;
+  for (const ParetoPoint& p : points) {
+    if (p.recall >= target_recall) {
+      if (!best.achieved || p.qps > best.qps) {
+        best = {p.qps, p.recall, p.epsilon, true};
+      }
+    }
+  }
+  if (!best.achieved) {
+    for (const ParetoPoint& p : points) {
+      if (p.recall > best.recall ||
+          (p.recall == best.recall && p.qps > best.qps)) {
+        best = {p.qps, p.recall, p.epsilon, false};
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<ParetoPoint> ParetoFrontier(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.recall != b.recall) return a.recall < b.recall;
+              return a.qps > b.qps;
+            });
+  std::vector<ParetoPoint> frontier;
+  double best_qps = -1.0;
+  // Scan from highest recall down; keep points that improve QPS.
+  for (auto it = points.rbegin(); it != points.rend(); ++it) {
+    if (it->qps > best_qps) {
+      frontier.push_back(*it);
+      best_qps = it->qps;
+    }
+  }
+  std::reverse(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+}  // namespace mbi

@@ -1,0 +1,56 @@
+// Epsilon sweeps and "QPS at target recall" (paper Figures 5, 6, 9).
+//
+// The paper varies Algorithm 2's range factor epsilon from 1.0 to 1.4 in
+// steps of 0.02 and, for the throughput figures, reports the fastest
+// configuration whose recall@k reaches 0.995.
+
+#ifndef MBI_EVAL_PARETO_H_
+#define MBI_EVAL_PARETO_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+#include "eval/workload.h"
+
+namespace mbi {
+
+/// One measured configuration.
+struct ParetoPoint {
+  float epsilon = 0.0f;
+  double recall = 0.0;
+  double qps = 0.0;
+};
+
+/// Runs one workload query at a given epsilon; returns its result list.
+using EpsilonQueryFn =
+    std::function<SearchResult(const WindowQuery& wq, float epsilon)>;
+
+/// The paper's epsilon grid: 1.0 to 1.4 step 0.02.
+std::vector<float> DefaultEpsilonGrid();
+
+/// Times the whole workload at each epsilon and records mean recall@k.
+std::vector<ParetoPoint> SweepEpsilon(const std::vector<WindowQuery>& workload,
+                                      const std::vector<SearchResult>& truth,
+                                      size_t k,
+                                      const std::vector<float>& epsilons,
+                                      const EpsilonQueryFn& run);
+
+/// The fastest point meeting `target_recall`. If none qualifies, returns the
+/// highest-recall point with achieved=false (the paper would extend the
+/// epsilon range; we report the shortfall instead).
+struct QpsAtRecall {
+  double qps = 0.0;
+  double recall = 0.0;
+  float epsilon = 0.0f;
+  bool achieved = false;
+};
+QpsAtRecall BestQpsAtRecall(const std::vector<ParetoPoint>& points,
+                            double target_recall);
+
+/// Keeps only Pareto-optimal (recall, qps) points, sorted by recall.
+std::vector<ParetoPoint> ParetoFrontier(std::vector<ParetoPoint> points);
+
+}  // namespace mbi
+
+#endif  // MBI_EVAL_PARETO_H_

@@ -1,0 +1,38 @@
+#include "eval/recall.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mbi {
+
+double RecallAtK(const SearchResult& approx, const SearchResult& exact,
+                 size_t k) {
+  const size_t denom = std::min(k, exact.size());
+  if (denom == 0) return 1.0;  // empty window: nothing to find
+
+  std::vector<VectorId> truth;
+  truth.reserve(denom);
+  for (size_t i = 0; i < denom; ++i) truth.push_back(exact[i].id);
+  std::sort(truth.begin(), truth.end());
+
+  size_t hits = 0;
+  const size_t limit = std::min(k, approx.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (std::binary_search(truth.begin(), truth.end(), approx[i].id)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(denom);
+}
+
+double MeanRecall(const std::vector<SearchResult>& approx,
+                  const std::vector<SearchResult>& exact, size_t k) {
+  MBI_CHECK(approx.size() == exact.size());
+  if (approx.empty()) return 1.0;
+  double total = 0.0;
+  for (size_t i = 0; i < approx.size(); ++i) {
+    total += RecallAtK(approx[i], exact[i], k);
+  }
+  return total / static_cast<double>(approx.size());
+}
+
+}  // namespace mbi

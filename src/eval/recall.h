@@ -1,0 +1,25 @@
+// recall@k (paper Section 3.1): |A_hat ∩ A| / k.
+
+#ifndef MBI_EVAL_RECALL_H_
+#define MBI_EVAL_RECALL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace mbi {
+
+/// Fraction of the true answer recovered, by vector id. When the true answer
+/// holds fewer than k entries (window smaller than k), the denominator is
+/// the true answer size, so a perfect method still scores 1.0.
+double RecallAtK(const SearchResult& approx, const SearchResult& exact,
+                 size_t k);
+
+/// Mean RecallAtK over paired result lists.
+double MeanRecall(const std::vector<SearchResult>& approx,
+                  const std::vector<SearchResult>& exact, size_t k);
+
+}  // namespace mbi
+
+#endif  // MBI_EVAL_RECALL_H_

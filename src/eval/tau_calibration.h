@@ -1,0 +1,63 @@
+// Precomputed per-window-length tau (paper Section 5.4.2).
+//
+// "If possible, one can compute the optimal tau for each query interval
+// experimentally beforehand, and use the pre-computed tau at run-time."
+// CalibrateTau does exactly that: it measures QPS at the recall target for a
+// grid of (window fraction, tau) pairs and records the winning tau per
+// fraction bucket; TauPolicy::TauFor answers run-time lookups.
+
+#ifndef MBI_EVAL_TAU_CALIBRATION_H_
+#define MBI_EVAL_TAU_CALIBRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/search.h"
+#include "mbi/mbi_index.h"
+
+namespace mbi {
+
+/// A per-window-fraction tau table (nearest-bucket lookup).
+class TauPolicy {
+ public:
+  TauPolicy() = default;
+  TauPolicy(std::vector<double> fractions, std::vector<double> taus);
+
+  /// Tau for a query whose window covers `fraction` of the data. Falls back
+  /// to 0.5 (the paper's recommended default) when uncalibrated.
+  double TauFor(double fraction) const;
+
+  /// Convenience: fraction computed from a window against a store.
+  double TauFor(const VectorStore& store, const TimeWindow& window) const;
+
+  bool empty() const { return fractions_.empty(); }
+  const std::vector<double>& fractions() const { return fractions_; }
+  const std::vector<double>& taus() const { return taus_; }
+
+ private:
+  std::vector<double> fractions_;  // sorted ascending
+  std::vector<double> taus_;       // parallel to fractions_
+};
+
+/// Result of one calibration cell (exposed for reporting).
+struct TauCalibrationCell {
+  double fraction = 0;
+  double tau = 0;
+  double qps = 0;
+  double recall = 0;
+};
+
+/// Measures every (fraction, tau) pair on the given index and returns the
+/// winning policy. `queries` is row-major test data with `num_test` rows.
+/// Per fraction, picks the highest-QPS tau whose mean recall@k meets
+/// `recall_target` (falling back to the highest-recall tau).
+TauPolicy CalibrateTau(const MbiIndex& index, const float* queries,
+                       size_t num_test, const std::vector<double>& fractions,
+                       const std::vector<double>& taus,
+                       const SearchParams& search, double recall_target,
+                       size_t queries_per_fraction, uint64_t seed,
+                       std::vector<TauCalibrationCell>* cells = nullptr);
+
+}  // namespace mbi
+
+#endif  // MBI_EVAL_TAU_CALIBRATION_H_

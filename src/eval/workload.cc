@@ -1,0 +1,37 @@
+#include "eval/workload.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mbi {
+
+std::vector<WindowQuery> MakeWindowWorkload(const VectorStore& store,
+                                            double fraction,
+                                            size_t num_queries,
+                                            size_t num_test, uint64_t seed) {
+  MBI_CHECK(!store.empty());
+  MBI_CHECK(num_test > 0);
+  MBI_CHECK(fraction > 0.0 && fraction <= 1.0);
+
+  const int64_t n = static_cast<int64_t>(store.size());
+  const int64_t m = std::clamp<int64_t>(
+      static_cast<int64_t>(fraction * static_cast<double>(n) + 0.5), 1, n);
+
+  Rng rng(seed);
+  std::vector<WindowQuery> out;
+  out.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const int64_t start =
+        static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(n - m + 1)));
+    WindowQuery wq;
+    wq.query_index = q % num_test;
+    wq.window = store.RangeWindow(IdRange{start, start + m});
+    wq.window_count = store.FindRange(wq.window).size();
+    out.push_back(wq);
+  }
+  return out;
+}
+
+}  // namespace mbi

@@ -1,0 +1,34 @@
+// TkNN query workload generation (paper Section 5.2).
+//
+// The paper fixes a window *fraction* |D[ts:te)| / |D| and samples random
+// windows of that many consecutive vectors; the query vectors are held-out
+// test points.
+
+#ifndef MBI_EVAL_WORKLOAD_H_
+#define MBI_EVAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_window.h"
+#include "core/vector_store.h"
+
+namespace mbi {
+
+/// One workload entry: which test vector to use and the time restriction.
+struct WindowQuery {
+  size_t query_index = 0;  ///< row in the test-query matrix
+  TimeWindow window;
+  int64_t window_count = 0;  ///< vectors inside the window (m)
+};
+
+/// Builds `num_queries` random windows each covering ~`fraction` of the
+/// store, cycling through `num_test` test vectors. Deterministic in seed.
+std::vector<WindowQuery> MakeWindowWorkload(const VectorStore& store,
+                                            double fraction,
+                                            size_t num_queries,
+                                            size_t num_test, uint64_t seed);
+
+}  // namespace mbi
+
+#endif  // MBI_EVAL_WORKLOAD_H_

@@ -1,0 +1,65 @@
+#include "graph/exact_builder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mbi {
+
+namespace {
+
+// A node's candidate pool during exact construction: a bounded max-heap of
+// (distance, node) pairs, mirroring TopKHeap but over NodeIds.
+struct HeapEntry {
+  float dist;
+  NodeId id;
+  bool operator<(const HeapEntry& o) const {
+    if (dist != o.dist) return dist < o.dist;
+    return id < o.id;
+  }
+};
+
+}  // namespace
+
+KnnGraph BuildExactKnnGraph(const float* data, size_t n,
+                            const DistanceFunction& dist, size_t degree) {
+  MBI_CHECK(degree > 0);
+  KnnGraph graph(n, degree);
+  if (n <= 1) return graph;
+
+  const size_t dim = dist.dim();
+  std::vector<std::vector<HeapEntry>> heaps(n);
+  for (auto& h : heaps) h.reserve(degree + 1);
+
+  auto offer = [&](size_t v, float d, NodeId u) {
+    auto& h = heaps[v];
+    if (h.size() < degree) {
+      h.push_back({d, u});
+      std::push_heap(h.begin(), h.end());
+    } else if (d < h.front().dist) {
+      std::pop_heap(h.begin(), h.end());
+      h.back() = {d, u};
+      std::push_heap(h.begin(), h.end());
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const float* vi = data + i * dim;
+    for (size_t j = i + 1; j < n; ++j) {
+      float d = dist(vi, data + j * dim);
+      offer(i, d, static_cast<NodeId>(j));
+      offer(j, d, static_cast<NodeId>(i));
+    }
+  }
+
+  for (size_t v = 0; v < n; ++v) {
+    auto& h = heaps[v];
+    std::sort(h.begin(), h.end());
+    auto neighbors = graph.MutableNeighbors(static_cast<NodeId>(v));
+    for (size_t s = 0; s < h.size(); ++s) neighbors[s] = h[s].id;
+  }
+  return graph;
+}
+
+}  // namespace mbi

@@ -1,0 +1,21 @@
+// Exact O(n^2 d) kNN-graph construction for small blocks.
+
+#ifndef MBI_GRAPH_EXACT_BUILDER_H_
+#define MBI_GRAPH_EXACT_BUILDER_H_
+
+#include <cstddef>
+
+#include "core/distance.h"
+#include "graph/knn_graph.h"
+
+namespace mbi {
+
+/// Builds the exact kNN graph over `n` row-major vectors: node v's neighbor
+/// list holds the `degree` nearest other nodes, sorted by distance. Each pair
+/// distance is computed once.
+KnnGraph BuildExactKnnGraph(const float* data, size_t n,
+                            const DistanceFunction& dist, size_t degree);
+
+}  // namespace mbi
+
+#endif  // MBI_GRAPH_EXACT_BUILDER_H_

@@ -1,0 +1,270 @@
+#include "graph/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.h"
+#include "util/io.h"
+#include "util/visited_set.h"
+
+namespace mbi {
+
+namespace {
+
+// Min-heap ordering on distance for frontier queues.
+struct FarterFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const { return b < a; }
+};
+
+}  // namespace
+
+NodeId HnswGraph::GreedyStep(const float* data, const float* query,
+                             const DistanceFunction& dist, NodeId entry,
+                             int32_t level) const {
+  const size_t dim = dist.dim();
+  NodeId cur = entry;
+  float cur_dist = dist(query, data + static_cast<size_t>(cur) * dim);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (NodeId nb : Links(cur, level)) {
+      float d = dist(query, data + static_cast<size_t>(nb) * dim);
+      if (d < cur_dist) {
+        cur = nb;
+        cur_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<Neighbor> HnswGraph::SearchLayer(const float* data,
+                                             const float* query,
+                                             const DistanceFunction& dist,
+                                             NodeId entry, size_t ef,
+                                             int32_t level) const {
+  const size_t dim = dist.dim();
+  thread_local VisitedSet visited;
+  visited.EnsureCapacity(num_nodes());
+  visited.Reset();
+
+  // Frontier: nearest first. Results: worst of the ef best on top.
+  std::priority_queue<Neighbor, std::vector<Neighbor>, FarterFirst> frontier;
+  std::priority_queue<Neighbor> best;  // max-heap by distance
+
+  float entry_dist = dist(query, data + static_cast<size_t>(entry) * dim);
+  frontier.push({entry_dist, static_cast<VectorId>(entry)});
+  best.push({entry_dist, static_cast<VectorId>(entry)});
+  visited.Set(entry);
+
+  while (!frontier.empty()) {
+    Neighbor cur = frontier.top();
+    frontier.pop();
+    if (best.size() >= ef && cur.distance > best.top().distance) break;
+    for (NodeId nb : Links(static_cast<NodeId>(cur.id), level)) {
+      if (visited.TestAndSet(nb)) continue;
+      float d = dist(query, data + static_cast<size_t>(nb) * dim);
+      if (best.size() < ef || d < best.top().distance) {
+        frontier.push({d, static_cast<VectorId>(nb)});
+        best.push({d, static_cast<VectorId>(nb)});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Neighbor> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> HnswGraph::SelectNeighbors(
+    const float* data, const DistanceFunction& dist,
+    const std::vector<Neighbor>& candidates, size_t m) const {
+  // Candidates arrive sorted ascending. Keep c only if it is closer to the
+  // base than to every kept neighbor (diversity heuristic).
+  const size_t dim = dist.dim();
+  std::vector<NodeId> kept;
+  for (const Neighbor& c : candidates) {
+    if (kept.size() >= m) break;
+    bool dominated = false;
+    for (NodeId g : kept) {
+      float d = dist(data + static_cast<size_t>(c.id) * dim,
+                     data + static_cast<size_t>(g) * dim);
+      if (d < c.distance) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(static_cast<NodeId>(c.id));
+  }
+  // Backfill with nearest dominated candidates if the heuristic was too
+  // aggressive (keeps the graph connected at small m).
+  for (const Neighbor& c : candidates) {
+    if (kept.size() >= m) break;
+    if (std::find(kept.begin(), kept.end(), static_cast<NodeId>(c.id)) ==
+        kept.end()) {
+      kept.push_back(static_cast<NodeId>(c.id));
+    }
+  }
+  return kept;
+}
+
+void HnswGraph::Build(const float* data, size_t n,
+                      const DistanceFunction& dist, const HnswParams& params) {
+  MBI_CHECK(params.M >= 2);
+  params_ = params;
+  levels_.assign(n, 0);
+  links_.assign(n, {});
+  entry_point_ = kInvalidNode;
+  max_level_ = -1;
+  if (n == 0) return;
+
+  Rng rng(params.seed);
+  const double ml = 1.0 / std::log(static_cast<double>(params.M));
+  const size_t dim = dist.dim();
+
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId node = static_cast<NodeId>(i);
+    double u = rng.NextDouble();
+    if (u <= 0.0) u = 1e-12;
+    const int32_t level = static_cast<int32_t>(-std::log(u) * ml);
+    levels_[i] = level;
+    links_[i].resize(level + 1);
+
+    if (entry_point_ == kInvalidNode) {
+      entry_point_ = node;
+      max_level_ = level;
+      continue;
+    }
+
+    const float* q = data + i * dim;
+    NodeId entry = entry_point_;
+    // Greedy descent through layers above the new node's level.
+    for (int32_t l = max_level_; l > level; --l) {
+      entry = GreedyStep(data, q, dist, entry, l);
+    }
+    // Insert on each layer from min(level, max_level_) down to 0.
+    for (int32_t l = std::min(level, max_level_); l >= 0; --l) {
+      std::vector<Neighbor> cands =
+          SearchLayer(data, q, dist, entry, params.ef_construction, l);
+      entry = static_cast<NodeId>(cands.front().id);
+
+      const size_t m = MaxDegree(l);
+      std::vector<NodeId> neighbors =
+          SelectNeighbors(data, dist, cands, params.M);
+      links_[i][l] = neighbors;
+      // Bidirectional links with degree pruning on the neighbor side.
+      for (NodeId nb : neighbors) {
+        auto& back = links_[nb][l];
+        back.push_back(node);
+        if (back.size() > m) {
+          std::vector<Neighbor> pruned;
+          pruned.reserve(back.size());
+          const float* base = data + static_cast<size_t>(nb) * dim;
+          for (NodeId x : back) {
+            pruned.push_back(
+                {dist(base, data + static_cast<size_t>(x) * dim),
+                 static_cast<VectorId>(x)});
+          }
+          std::sort(pruned.begin(), pruned.end());
+          back = SelectNeighbors(data, dist, pruned, m);
+        }
+      }
+    }
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_point_ = node;
+    }
+  }
+}
+
+std::vector<Neighbor> HnswGraph::Search(
+    const float* data, const float* query, const DistanceFunction& dist,
+    size_t k, size_t ef,
+    const std::pair<NodeId, NodeId>* local_filter) const {
+  std::vector<Neighbor> out;
+  if (empty()) return out;
+
+  NodeId entry = entry_point_;
+  for (int32_t l = max_level_; l > 0; --l) {
+    entry = GreedyStep(data, query, dist, entry, l);
+  }
+
+  auto in_filter = [&](VectorId id) {
+    return local_filter == nullptr ||
+           (static_cast<NodeId>(id) >= local_filter->first &&
+            static_cast<NodeId>(id) < local_filter->second);
+  };
+
+  // Bottom layer: widen the beam until k in-filter results are found or the
+  // whole component is exhausted (the SF semantics of Section 3.2.2).
+  size_t beam = std::max(ef, k);
+  for (;;) {
+    std::vector<Neighbor> cands =
+        SearchLayer(data, query, dist, entry, beam, 0);
+    out.clear();
+    for (const Neighbor& c : cands) {
+      if (!in_filter(c.id)) continue;
+      out.push_back(c);
+      if (out.size() == k) break;
+    }
+    if (out.size() >= k || cands.size() < beam || beam >= num_nodes()) break;
+    beam *= 2;
+  }
+  return out;
+}
+
+size_t HnswGraph::MemoryBytes() const {
+  size_t total = levels_.size() * sizeof(int32_t);
+  for (const auto& node : links_) {
+    for (const auto& level : node) {
+      total += level.size() * sizeof(NodeId) + sizeof(void*);
+    }
+  }
+  return total;
+}
+
+Status HnswGraph::Save(BinaryWriter* writer) const {
+  MBI_RETURN_IF_ERROR(writer->Write<uint64_t>(params_.M));
+  MBI_RETURN_IF_ERROR(writer->Write<uint64_t>(params_.ef_construction));
+  MBI_RETURN_IF_ERROR(writer->Write<uint64_t>(params_.seed));
+  MBI_RETURN_IF_ERROR(writer->Write<uint32_t>(entry_point_));
+  MBI_RETURN_IF_ERROR(writer->Write<int32_t>(max_level_));
+  MBI_RETURN_IF_ERROR(writer->WriteVector(levels_));
+  for (size_t i = 0; i < links_.size(); ++i) {
+    MBI_RETURN_IF_ERROR(writer->Write<uint32_t>(links_[i].size()));
+    for (const auto& level : links_[i]) {
+      MBI_RETURN_IF_ERROR(writer->WriteVector(level));
+    }
+  }
+  return Status::Ok();
+}
+
+Status HnswGraph::Load(BinaryReader* reader) {
+  MBI_RETURN_IF_ERROR(reader->Read<uint64_t>(&params_.M));
+  MBI_RETURN_IF_ERROR(reader->Read<uint64_t>(&params_.ef_construction));
+  MBI_RETURN_IF_ERROR(reader->Read<uint64_t>(&params_.seed));
+  MBI_RETURN_IF_ERROR(reader->Read<uint32_t>(&entry_point_));
+  MBI_RETURN_IF_ERROR(reader->Read<int32_t>(&max_level_));
+  MBI_RETURN_IF_ERROR(reader->ReadVector(&levels_));
+  links_.assign(levels_.size(), {});
+  for (size_t i = 0; i < links_.size(); ++i) {
+    uint32_t num_levels = 0;
+    MBI_RETURN_IF_ERROR(reader->Read<uint32_t>(&num_levels));
+    if (num_levels > 64) return Status::IoError("corrupt HNSW level count");
+    links_[i].resize(num_levels);
+    for (auto& level : links_[i]) {
+      MBI_RETURN_IF_ERROR(reader->ReadVector(&level));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mbi

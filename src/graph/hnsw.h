@@ -1,0 +1,110 @@
+// HNSW — Hierarchical Navigable Small World graph (Malkov & Yashunin 2018).
+//
+// The paper cites HNSW among the state-of-the-art graph indexes its blocks
+// could use (Sections 2.1 and 4.1); this from-scratch implementation backs
+// the HnswBlockIndex alternative. Nodes live on a stack of layers: the sparse
+// upper layers route a query close to its target region, and the dense
+// bottom layer (degree 2M) is searched with a bounded candidate queue.
+
+#ifndef MBI_GRAPH_HNSW_H_
+#define MBI_GRAPH_HNSW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/types.h"
+#include "graph/knn_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mbi {
+
+class BinaryReader;
+class BinaryWriter;
+
+struct HnswParams {
+  /// Connectivity parameter M: upper layers keep up to M links, the bottom
+  /// layer up to 2M.
+  size_t M = 16;
+
+  /// Beam width during construction.
+  size_t ef_construction = 100;
+
+  /// Level-assignment randomness.
+  uint64_t seed = 20180406;
+};
+
+/// An HNSW graph over `n` vectors addressed by local NodeIds.
+///
+/// Search returns (distance, local id) pairs; an optional predicate-style id
+/// filter restricts which nodes may enter the result set (traversal still
+/// crosses filtered-out nodes). The bottom layer search mirrors the unbounded
+/// -growth semantics of GraphSearcher: while fewer than k in-filter results
+/// are known, the beam may grow beyond ef so short windows stay findable.
+class HnswGraph {
+ public:
+  HnswGraph() = default;
+
+  /// Builds by sequential insertion over row-major `data`.
+  void Build(const float* data, size_t n, const DistanceFunction& dist,
+             const HnswParams& params);
+
+  /// k nearest local ids to `query` with beam width ef (clamped up to k).
+  /// `local_filter`, when non-null, is a half-open local-id interval
+  /// [first, second) that results must lie in.
+  std::vector<Neighbor> Search(const float* data, const float* query,
+                               const DistanceFunction& dist, size_t k,
+                               size_t ef,
+                               const std::pair<NodeId, NodeId>* local_filter
+                               = nullptr) const;
+
+  size_t num_nodes() const { return levels_.size(); }
+  bool empty() const { return levels_.empty(); }
+  int32_t max_level() const { return max_level_; }
+
+  /// Bytes of link structure.
+  size_t MemoryBytes() const;
+
+  Status Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  // Greedy single-entry descent on one layer: repeatedly moves to the
+  // closest neighbor until no improvement.
+  NodeId GreedyStep(const float* data, const float* query,
+                    const DistanceFunction& dist, NodeId entry,
+                    int32_t level) const;
+
+  // Beam search on one layer; returns up to ef (distance, id) candidates
+  // sorted ascending.
+  std::vector<Neighbor> SearchLayer(const float* data, const float* query,
+                                    const DistanceFunction& dist, NodeId entry,
+                                    size_t ef, int32_t level) const;
+
+  // Malkov's neighbor-selection heuristic: greedily keeps candidates that
+  // are closer to the base point than to any already-kept neighbor.
+  std::vector<NodeId> SelectNeighbors(const float* data,
+                                      const DistanceFunction& dist,
+                                      const std::vector<Neighbor>& candidates,
+                                      size_t m) const;
+
+  std::span<const NodeId> Links(NodeId node, int32_t level) const {
+    return links_[node][static_cast<size_t>(level)];
+  }
+
+  size_t MaxDegree(int32_t level) const {
+    return level == 0 ? 2 * params_.M : params_.M;
+  }
+
+  HnswParams params_;
+  std::vector<int32_t> levels_;                         // per-node top level
+  std::vector<std::vector<std::vector<NodeId>>> links_;  // [node][level]
+  NodeId entry_point_ = kInvalidNode;
+  int32_t max_level_ = -1;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_GRAPH_HNSW_H_

@@ -1,0 +1,51 @@
+#include "graph/knn_graph.h"
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace mbi {
+
+KnnGraph::KnnGraph(size_t num_nodes, size_t degree)
+    : num_nodes_(num_nodes),
+      degree_(degree),
+      adjacency_(num_nodes * degree, kInvalidNode) {
+  MBI_CHECK(degree > 0);
+}
+
+size_t KnnGraph::NeighborCount(NodeId node) const {
+  size_t count = 0;
+  for (NodeId nb : Neighbors(node)) {
+    if (nb != kInvalidNode) ++count;
+  }
+  return count;
+}
+
+double KnnGraph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  size_t total = 0;
+  for (size_t v = 0; v < num_nodes_; ++v) {
+    total += NeighborCount(static_cast<NodeId>(v));
+  }
+  return static_cast<double>(total) / static_cast<double>(num_nodes_);
+}
+
+Status KnnGraph::Save(BinaryWriter* writer) const {
+  MBI_RETURN_IF_ERROR(writer->Write<uint64_t>(num_nodes_));
+  MBI_RETURN_IF_ERROR(writer->Write<uint64_t>(degree_));
+  return writer->WriteVector(adjacency_);
+}
+
+Status KnnGraph::Load(BinaryReader* reader) {
+  uint64_t n = 0, d = 0;
+  MBI_RETURN_IF_ERROR(reader->Read<uint64_t>(&n));
+  MBI_RETURN_IF_ERROR(reader->Read<uint64_t>(&d));
+  MBI_RETURN_IF_ERROR(reader->ReadVector(&adjacency_));
+  if (adjacency_.size() != n * d) {
+    return Status::IoError("corrupt KnnGraph: adjacency size mismatch");
+  }
+  num_nodes_ = n;
+  degree_ = d;
+  return Status::Ok();
+}
+
+}  // namespace mbi

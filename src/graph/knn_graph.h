@@ -1,0 +1,73 @@
+// Fixed-degree kNN graph with flat adjacency storage.
+//
+// Nodes are block-local ids in [0, n). Each node stores up to `degree`
+// out-neighbors sorted by increasing distance; unused slots hold
+// kInvalidNode. The flat uint32 layout is what the paper's index-size
+// analysis counts: O(n * k') integers per block (Section 4.4.1).
+
+#ifndef MBI_GRAPH_KNN_GRAPH_H_
+#define MBI_GRAPH_KNN_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mbi {
+
+class BinaryReader;
+class BinaryWriter;
+
+/// Block-local node id.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+class KnnGraph {
+ public:
+  KnnGraph() = default;
+
+  /// Creates an n-node graph with `degree` neighbor slots per node, all
+  /// initialized to kInvalidNode.
+  KnnGraph(size_t num_nodes, size_t degree);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t degree() const { return degree_; }
+  bool empty() const { return num_nodes_ == 0; }
+
+  /// The neighbor slots of `node` (padded with kInvalidNode at the tail).
+  std::span<const NodeId> Neighbors(NodeId node) const {
+    return {adjacency_.data() + static_cast<size_t>(node) * degree_, degree_};
+  }
+
+  std::span<NodeId> MutableNeighbors(NodeId node) {
+    return {adjacency_.data() + static_cast<size_t>(node) * degree_, degree_};
+  }
+
+  /// Number of valid (non-sentinel) neighbors of `node`.
+  size_t NeighborCount(NodeId node) const;
+
+  /// Bytes used by the adjacency array (the block's index size).
+  size_t MemoryBytes() const { return adjacency_.size() * sizeof(NodeId); }
+
+  /// Average out-degree over all nodes.
+  double AverageDegree() const;
+
+  Status Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+  friend bool operator==(const KnnGraph& a, const KnnGraph& b) {
+    return a.num_nodes_ == b.num_nodes_ && a.degree_ == b.degree_ &&
+           a.adjacency_ == b.adjacency_;
+  }
+
+ private:
+  size_t num_nodes_ = 0;
+  size_t degree_ = 0;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_GRAPH_KNN_GRAPH_H_

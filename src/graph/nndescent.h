@@ -1,0 +1,39 @@
+// NNDescent approximate kNN-graph construction (Dong, Charikar, Li — WWW'11).
+//
+// This is the builder the paper uses for every MBI block and for the SF
+// baseline's global graph; its empirical O(n^1.14) build time underlies the
+// paper's indexing-time analysis (Section 4.4.2).
+
+#ifndef MBI_GRAPH_NNDESCENT_H_
+#define MBI_GRAPH_NNDESCENT_H_
+
+#include <cstddef>
+
+#include "core/distance.h"
+#include "graph/builder_params.h"
+#include "graph/knn_graph.h"
+
+namespace mbi {
+
+class ThreadPool;
+
+/// Builds an approximate kNN graph over `n` row-major vectors using
+/// NNDescent local joins. If `pool` is non-null the join phase runs on it.
+///
+/// The graph converges when an iteration performs fewer than
+/// params.delta * n * degree pool updates, or after params.max_iterations.
+KnnGraph BuildNnDescentGraph(const float* data, size_t n,
+                             const DistanceFunction& dist,
+                             const GraphBuildParams& params,
+                             ThreadPool* pool = nullptr);
+
+/// Dispatches to exact construction when n <= params.exact_threshold and to
+/// NNDescent otherwise. This is the builder MBI and SF call for each block.
+KnnGraph BuildKnnGraph(const float* data, size_t n,
+                       const DistanceFunction& dist,
+                       const GraphBuildParams& params,
+                       ThreadPool* pool = nullptr);
+
+}  // namespace mbi
+
+#endif  // MBI_GRAPH_NNDESCENT_H_

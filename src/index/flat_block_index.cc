@@ -1,0 +1,50 @@
+#include "index/flat_block_index.h"
+
+#include <algorithm>
+
+#include "util/io.h"
+
+namespace mbi {
+
+void ExactScan(const VectorStore& store, const IdRange& range,
+               const float* query, const IdRange* id_filter, TopKHeap* results,
+               SearchStats* stats) {
+  // Narrow to the in-window sub-slice (Algorithm 1 restricted to this
+  // block's slice; the filter is already an id range).
+  IdRange scan = range;
+  if (id_filter != nullptr) {
+    scan.begin = std::max(scan.begin, id_filter->begin);
+    scan.end = std::min(scan.end, id_filter->end);
+  }
+  if (scan.Empty()) return;
+
+  const DistanceFunction& dist = store.distance();
+  const size_t dim = store.dim();
+  const float* base = store.GetVector(scan.begin);
+  const size_t m = static_cast<size_t>(scan.size());
+  for (size_t i = 0; i < m; ++i) {
+    float d = dist(query, base + i * dim);
+    results->Push(d, scan.begin + static_cast<VectorId>(i));
+  }
+  if (stats != nullptr) stats->distance_evaluations += m;
+}
+
+void FlatBlockIndex::Search(const VectorStore& store, const float* query,
+                            const SearchParams& /*params*/,
+                            const IdRange* id_filter,
+                            GraphSearcher* /*searcher*/, Rng* /*rng*/,
+                            TopKHeap* results, SearchStats* stats) const {
+  ExactScan(store, range_, query, id_filter, results, stats);
+}
+
+Status FlatBlockIndex::Save(BinaryWriter* writer) const {
+  MBI_RETURN_IF_ERROR(writer->Write<int64_t>(range_.begin));
+  return writer->Write<int64_t>(range_.end);
+}
+
+Status FlatBlockIndex::Load(BinaryReader* reader) {
+  MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.begin));
+  return reader->Read<int64_t>(&range_.end);
+}
+
+}  // namespace mbi

@@ -1,0 +1,46 @@
+// Flat (exact-scan) block index.
+//
+// Holds no structure at all: a search scans the in-window sub-slice with a
+// bounded heap, exactly like BSBF does inside one block. Used for the
+// block-index ablation and wherever exactness matters more than speed.
+
+#ifndef MBI_INDEX_FLAT_BLOCK_INDEX_H_
+#define MBI_INDEX_FLAT_BLOCK_INDEX_H_
+
+#include "index/block_index.h"
+
+namespace mbi {
+
+class FlatBlockIndex : public BlockKnnIndex {
+ public:
+  FlatBlockIndex() = default;
+  explicit FlatBlockIndex(const IdRange& range) : range_(range) {}
+
+  IdRange range() const override { return range_; }
+
+  void Search(const VectorStore& store, const float* query,
+              const SearchParams& params, const IdRange* id_filter,
+              GraphSearcher* searcher, Rng* rng, TopKHeap* results,
+              SearchStats* stats) const override;
+
+  size_t MemoryBytes() const override { return sizeof(range_); }
+
+  Status Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+  BlockIndexKind kind() const override { return BlockIndexKind::kFlat; }
+
+ private:
+  IdRange range_;
+};
+
+/// Exact top-k scan over the intersection of `range` and `id_filter` (or
+/// all of `range` when `id_filter` is null). Shared by FlatBlockIndex, the
+/// non-full leaf path of MBI, and the BSBF baseline.
+void ExactScan(const VectorStore& store, const IdRange& range,
+               const float* query, const IdRange* id_filter, TopKHeap* results,
+               SearchStats* stats = nullptr);
+
+}  // namespace mbi
+
+#endif  // MBI_INDEX_FLAT_BLOCK_INDEX_H_

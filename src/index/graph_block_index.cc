@@ -1,0 +1,41 @@
+#include "index/graph_block_index.h"
+
+#include "graph/nndescent.h"
+#include "util/check.h"
+#include "util/io.h"
+
+namespace mbi {
+
+GraphBlockIndex::GraphBlockIndex(const VectorStore& store, const IdRange& range,
+                                 const GraphBuildParams& params,
+                                 ThreadPool* pool)
+    : range_(range) {
+  MBI_CHECK(!range.Empty());
+  MBI_CHECK(static_cast<size_t>(range.end) <= store.size());
+  graph_ = BuildKnnGraph(store.GetVector(range.begin),
+                         static_cast<size_t>(range.size()), store.distance(),
+                         params, pool);
+}
+
+void GraphBlockIndex::Search(const VectorStore& store, const float* query,
+                             const SearchParams& params,
+                             const IdRange* id_filter, GraphSearcher* searcher,
+                             Rng* rng, TopKHeap* results,
+                             SearchStats* stats) const {
+  searcher->Search(store, graph_, range_, query, params, id_filter, rng,
+                   results, stats);
+}
+
+Status GraphBlockIndex::Save(BinaryWriter* writer) const {
+  MBI_RETURN_IF_ERROR(writer->Write<int64_t>(range_.begin));
+  MBI_RETURN_IF_ERROR(writer->Write<int64_t>(range_.end));
+  return graph_.Save(writer);
+}
+
+Status GraphBlockIndex::Load(BinaryReader* reader) {
+  MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.begin));
+  MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.end));
+  return graph_.Load(reader);
+}
+
+}  // namespace mbi

@@ -1,0 +1,43 @@
+// Graph-based block index: NNDescent kNN graph + Algorithm 2 search.
+
+#ifndef MBI_INDEX_GRAPH_BLOCK_INDEX_H_
+#define MBI_INDEX_GRAPH_BLOCK_INDEX_H_
+
+#include "graph/knn_graph.h"
+#include "index/block_index.h"
+
+namespace mbi {
+
+class GraphBlockIndex : public BlockKnnIndex {
+ public:
+  GraphBlockIndex() = default;
+
+  /// Builds the block's kNN graph (exact for small slices, NNDescent
+  /// otherwise; see BuildKnnGraph).
+  GraphBlockIndex(const VectorStore& store, const IdRange& range,
+                  const GraphBuildParams& params, ThreadPool* pool);
+
+  IdRange range() const override { return range_; }
+
+  void Search(const VectorStore& store, const float* query,
+              const SearchParams& params, const IdRange* id_filter,
+              GraphSearcher* searcher, Rng* rng, TopKHeap* results,
+              SearchStats* stats) const override;
+
+  size_t MemoryBytes() const override { return graph_.MemoryBytes(); }
+
+  Status Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+  BlockIndexKind kind() const override { return BlockIndexKind::kGraph; }
+
+  const KnnGraph& graph() const { return graph_; }
+
+ private:
+  IdRange range_;
+  KnnGraph graph_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_INDEX_GRAPH_BLOCK_INDEX_H_

@@ -1,0 +1,62 @@
+#include "index/hnsw_block_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace mbi {
+
+HnswBlockIndex::HnswBlockIndex(const VectorStore& store, const IdRange& range,
+                               const GraphBuildParams& params,
+                               ThreadPool* /*pool*/)
+    : range_(range) {
+  MBI_CHECK(!range.Empty());
+  MBI_CHECK(static_cast<size_t>(range.end) <= store.size());
+  HnswParams hp;
+  hp.M = std::max<size_t>(4, params.degree / 2);
+  hp.ef_construction = std::max<size_t>(60, params.degree * 3);
+  hp.seed = params.seed;
+  hnsw_.Build(store.GetVector(range.begin),
+              static_cast<size_t>(range.size()), store.distance(), hp);
+}
+
+void HnswBlockIndex::Search(const VectorStore& store, const float* query,
+                            const SearchParams& params,
+                            const IdRange* id_filter,
+                            GraphSearcher* /*searcher*/, Rng* /*rng*/,
+                            TopKHeap* results, SearchStats* stats) const {
+  // Translate the global id filter into block-local coordinates.
+  std::pair<NodeId, NodeId> local_filter;
+  const std::pair<NodeId, NodeId>* filter_ptr = nullptr;
+  if (id_filter != nullptr) {
+    const int64_t lo = std::max<int64_t>(0, id_filter->begin - range_.begin);
+    const int64_t hi =
+        std::min<int64_t>(range_.size(), id_filter->end - range_.begin);
+    if (hi <= lo) return;
+    local_filter = {static_cast<NodeId>(lo), static_cast<NodeId>(hi)};
+    filter_ptr = &local_filter;
+  }
+
+  std::vector<Neighbor> hits = hnsw_.Search(
+      store.GetVector(range_.begin), query, store.distance(), params.k,
+      params.max_candidates, filter_ptr);
+  for (const Neighbor& nb : hits) {
+    results->Push(nb.distance, range_.begin + nb.id);
+  }
+  if (stats != nullptr) stats->nodes_expanded += hits.size();
+}
+
+Status HnswBlockIndex::Save(BinaryWriter* writer) const {
+  MBI_RETURN_IF_ERROR(writer->Write<int64_t>(range_.begin));
+  MBI_RETURN_IF_ERROR(writer->Write<int64_t>(range_.end));
+  return hnsw_.Save(writer);
+}
+
+Status HnswBlockIndex::Load(BinaryReader* reader) {
+  MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.begin));
+  MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.end));
+  return hnsw_.Load(reader);
+}
+
+}  // namespace mbi

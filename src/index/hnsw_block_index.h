@@ -1,0 +1,45 @@
+// HNSW-backed block index — the "any kNN index per block" seam of Section
+// 4.1 instantiated with the paper's cited state-of-the-art structure.
+
+#ifndef MBI_INDEX_HNSW_BLOCK_INDEX_H_
+#define MBI_INDEX_HNSW_BLOCK_INDEX_H_
+
+#include "graph/hnsw.h"
+#include "index/block_index.h"
+
+namespace mbi {
+
+class HnswBlockIndex : public BlockKnnIndex {
+ public:
+  HnswBlockIndex() = default;
+
+  /// Builds an HNSW over the slice. Mapping from the shared build params:
+  /// M = degree / 2 (HNSW's bottom layer has degree 2M), ef_construction
+  /// scales with the degree.
+  HnswBlockIndex(const VectorStore& store, const IdRange& range,
+                 const GraphBuildParams& params, ThreadPool* pool);
+
+  IdRange range() const override { return range_; }
+
+  void Search(const VectorStore& store, const float* query,
+              const SearchParams& params, const IdRange* id_filter,
+              GraphSearcher* searcher, Rng* rng, TopKHeap* results,
+              SearchStats* stats) const override;
+
+  size_t MemoryBytes() const override { return hnsw_.MemoryBytes(); }
+
+  Status Save(BinaryWriter* writer) const override;
+  Status Load(BinaryReader* reader) override;
+
+  BlockIndexKind kind() const override { return BlockIndexKind::kHnsw; }
+
+  const HnswGraph& hnsw() const { return hnsw_; }
+
+ private:
+  IdRange range_;
+  HnswGraph hnsw_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_INDEX_HNSW_BLOCK_INDEX_H_

@@ -1,0 +1,134 @@
+#include "mbi/block_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mbi {
+
+BlockTreeShape::BlockTreeShape(int64_t num_vectors, int64_t leaf_size)
+    : num_vectors_(num_vectors), leaf_size_(leaf_size) {
+  MBI_CHECK(num_vectors >= 0);
+  MBI_CHECK(leaf_size >= 1);
+}
+
+int32_t BlockTreeShape::root_height() const {
+  int64_t leaves = total_leaves();
+  int32_t h = 0;
+  while ((int64_t{1} << h) < leaves) ++h;
+  return h;
+}
+
+IdRange BlockTreeShape::NodeRange(const TreeNode& node) const {
+  const int64_t leaves_per_node = int64_t{1} << node.height;
+  const int64_t begin = node.pos * leaves_per_node * leaf_size_;
+  const int64_t end =
+      std::min((node.pos + 1) * leaves_per_node * leaf_size_, num_vectors_);
+  return IdRange{begin, std::max(begin, end)};
+}
+
+bool BlockTreeShape::IsMaterialized(const TreeNode& node) const {
+  const int64_t leaves_per_node = int64_t{1} << node.height;
+  if ((node.pos + 1) * leaves_per_node <= full_leaves()) return true;
+  // The only other materialized node is the partial tail leaf.
+  return IsPartialLeaf(node);
+}
+
+bool BlockTreeShape::IsPartialLeaf(const TreeNode& node) const {
+  return node.height == 0 && has_partial_leaf() && node.pos == full_leaves();
+}
+
+int64_t BlockTreeShape::PostorderIndex(const TreeNode& node) const {
+  MBI_CHECK(IsMaterialized(node) && !IsPartialLeaf(node));
+  const int64_t last_leaf = (node.pos + 1) * (int64_t{1} << node.height) - 1;
+  return BlocksForLeaves(last_leaf) + node.height;
+}
+
+int64_t BlockTreeShape::BlocksForLeaves(int64_t m) {
+  int64_t total = 0;
+  while (m > 0) {
+    total += m;
+    m >>= 1;
+  }
+  return total;
+}
+
+std::vector<TreeNode> BlockTreeShape::MergeCascade(int64_t completed_leaves) {
+  MBI_CHECK(completed_leaves >= 1);
+  std::vector<TreeNode> cascade;
+  cascade.push_back(TreeNode{0, completed_leaves - 1});
+  // Algorithm 3 lines 8-14: while the completed-leaf count is even at the
+  // current granularity, the new block is a right child and its parent is
+  // created next.
+  int32_t h = 1;
+  int64_t j = completed_leaves;
+  while (j % 2 == 0) {
+    j /= 2;
+    cascade.push_back(TreeNode{h, j - 1});
+    ++h;
+  }
+  return cascade;
+}
+
+std::vector<TreeNode> BlockTreeShape::AllFullNodes() const {
+  std::vector<TreeNode> nodes;
+  nodes.reserve(static_cast<size_t>(NumFullBlocks()));
+  for (int64_t leaf = 1; leaf <= full_leaves(); ++leaf) {
+    auto cascade = MergeCascade(leaf);
+    nodes.insert(nodes.end(), cascade.begin(), cascade.end());
+  }
+  return nodes;
+}
+
+namespace {
+
+void SelectRecursive(const BlockTreeShape& shape, const TimeWindow& query,
+                     double tau,
+                     const std::function<TimeWindow(const IdRange&)>& window_of,
+                     const TreeNode& node, std::vector<SelectedBlock>* out) {
+  const IdRange range = shape.NodeRange(node);
+  if (range.Empty()) return;  // node entirely beyond the data
+
+  const TimeWindow block_window = window_of(range);
+  const double ro = OverlapRatio(query, block_window);
+  if (ro == 0.0) return;  // case 1
+
+  const bool partial_leaf = shape.IsPartialLeaf(node);
+  const bool materialized = shape.IsMaterialized(node);
+  const bool is_leaf = node.height == 0;
+
+  // Note: Algorithm 4's pseudocode writes "r_o > tau", but the proofs of
+  // Lemma 4.1/4.3 use "alpha >= tau" and Figure 4 selects fully-covered
+  // internal blocks at tau = 1, so the intended test is >=.
+  if (materialized && (is_leaf || ro >= tau)) {
+    // Case 2: leaves are always selected; larger blocks only when the query
+    // covers more than tau of their window.
+    out->push_back(SelectedBlock{node, range, !partial_leaf});
+    return;
+  }
+  if (is_leaf) {
+    // A leaf that is not materialized has no vectors (handled above by the
+    // empty-range check); nothing to do.
+    return;
+  }
+  // Case 3: recurse (also the path through virtual blocks, which are never
+  // selected themselves).
+  SelectRecursive(shape, query, tau, window_of,
+                  TreeNode{node.height - 1, node.pos * 2}, out);
+  SelectRecursive(shape, query, tau, window_of,
+                  TreeNode{node.height - 1, node.pos * 2 + 1}, out);
+}
+
+}  // namespace
+
+std::vector<SelectedBlock> SelectBlocks(
+    const BlockTreeShape& shape, const TimeWindow& query, double tau,
+    const std::function<TimeWindow(const IdRange&)>& window_of) {
+  std::vector<SelectedBlock> out;
+  if (shape.num_vectors() == 0 || query.Empty()) return out;
+  SelectRecursive(shape, query, tau, window_of,
+                  TreeNode{shape.root_height(), 0}, &out);
+  return out;
+}
+
+}  // namespace mbi

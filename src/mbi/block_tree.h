@@ -1,0 +1,121 @@
+// Pure arithmetic for MBI's implicit perfect binary tree of blocks.
+//
+// Leaves cover S_L consecutive vectors each. A node at height h and position
+// p covers leaves [p*2^h, (p+1)*2^h). Blocks are numbered in creation order,
+// which equals a postorder traversal (paper Algorithm 3): a parent is created
+// the moment its right child completes, so
+//
+//   index(h, p) = B((p+1) * 2^h - 1) + h,   B(m) = sum_{j>=0} floor(m / 2^j)
+//
+// where B(m) counts the blocks existing after m complete leaves. Virtual
+// blocks (paper Figure 2) are never materialized: a node simply "exists" iff
+// all of its leaves are complete, and the selection recursion passes through
+// non-existent nodes exactly as the paper's infinite-window virtual blocks
+// always fall into case 3.
+
+#ifndef MBI_MBI_BLOCK_TREE_H_
+#define MBI_MBI_BLOCK_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/time_window.h"
+#include "core/vector_store.h"
+
+namespace mbi {
+
+/// A node of the implicit tree.
+struct TreeNode {
+  int32_t height = 0;   ///< 0 = leaf
+  int64_t pos = 0;      ///< position among nodes of this height
+
+  friend bool operator==(const TreeNode& a, const TreeNode& b) {
+    return a.height == b.height && a.pos == b.pos;
+  }
+};
+
+/// Shape of the tree for a given data size and leaf capacity. Stateless
+/// arithmetic only; the actual blocks live in MbiIndex.
+class BlockTreeShape {
+ public:
+  BlockTreeShape(int64_t num_vectors, int64_t leaf_size);
+
+  int64_t num_vectors() const { return num_vectors_; }
+  int64_t leaf_size() const { return leaf_size_; }
+
+  /// Number of completely filled leaves (each holding exactly leaf_size).
+  int64_t full_leaves() const { return num_vectors_ / leaf_size_; }
+
+  /// True if a partially filled tail leaf exists.
+  bool has_partial_leaf() const { return num_vectors_ % leaf_size_ != 0; }
+
+  /// Leaves including the partial one.
+  int64_t total_leaves() const {
+    return full_leaves() + (has_partial_leaf() ? 1 : 0);
+  }
+
+  /// Height of the conceptual root (smallest perfect tree covering all
+  /// leaves). 0 when there is at most one leaf.
+  int32_t root_height() const;
+
+  /// Vector ids covered by `node`, clipped to the data size. May be empty
+  /// for nodes entirely beyond the data.
+  IdRange NodeRange(const TreeNode& node) const;
+
+  /// True iff the node is a materialized block: all of its leaves are
+  /// complete (for the tail leaf itself, see is_partial_leaf()).
+  bool IsMaterialized(const TreeNode& node) const;
+
+  /// True iff `node` is the (materialized but graph-less) partial tail leaf.
+  bool IsPartialLeaf(const TreeNode& node) const;
+
+  /// Postorder/creation index of a materialized full node.
+  int64_t PostorderIndex(const TreeNode& node) const;
+
+  /// Total materialized full blocks: B(full_leaves()).
+  int64_t NumFullBlocks() const { return BlocksForLeaves(full_leaves()); }
+
+  /// B(m) = sum_{j>=0} floor(m / 2^j): blocks existing after m full leaves.
+  static int64_t BlocksForLeaves(int64_t m);
+
+  /// The blocks created when leaf number `completed_leaves` (1-based count)
+  /// becomes full, in creation order: the leaf itself, then each ancestor
+  /// whose subtree completed (paper Algorithm 3 lines 6-14).
+  static std::vector<TreeNode> MergeCascade(int64_t completed_leaves);
+
+  /// All materialized full nodes in creation (postorder-index) order.
+  std::vector<TreeNode> AllFullNodes() const;
+
+ private:
+  int64_t num_vectors_;
+  int64_t leaf_size_;
+};
+
+/// One entry of a search block set.
+struct SelectedBlock {
+  TreeNode node;
+  IdRange range;
+  bool has_graph = false;  ///< false => partial tail leaf, search exactly
+};
+
+/// Top-down block selection (paper Algorithm 4, BlockSelection).
+///
+/// `window_of` maps a node's vector range to its time window (exclusive
+/// upper bound); MbiIndex passes VectorStore::RangeWindow. Returns the
+/// search block set: time-disjoint materialized blocks covering every vector
+/// whose timestamp lies in `query`.
+///
+///  - case 1: no time overlap -> skip subtree
+///  - case 2: leaf, or overlap ratio >= tau -> select
+///  - case 3: otherwise (including virtual nodes) -> recurse into children
+///
+/// (The pseudocode in the paper writes "r_o > tau" but its lemma proofs and
+/// Figure 4 use ">="; we follow the proofs.)
+std::vector<SelectedBlock> SelectBlocks(
+    const BlockTreeShape& shape, const TimeWindow& query, double tau,
+    const std::function<TimeWindow(const IdRange&)>& window_of);
+
+}  // namespace mbi
+
+#endif  // MBI_MBI_BLOCK_TREE_H_

@@ -1,0 +1,238 @@
+#include "mbi/mbi_index.h"
+
+#include <algorithm>
+
+#include "index/flat_block_index.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace mbi {
+
+Status MbiParams::Validate() const {
+  if (leaf_size < 1) {
+    return Status::InvalidArgument("leaf_size must be >= 1");
+  }
+  if (!(tau > 0.0) || tau > 1.0) {
+    return Status::InvalidArgument("tau must be in (0, 1]");
+  }
+  if (build.degree == 0) {
+    return Status::InvalidArgument("graph degree must be >= 1");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  return Status::Ok();
+}
+
+MbiIndex::MbiIndex(size_t dim, Metric metric, const MbiParams& params)
+    : params_(params), store_(dim, metric) {
+  MBI_CHECK_OK(params.Validate());
+  if (params_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(params_.num_threads);
+  }
+}
+
+MbiIndex::~MbiIndex() = default;
+
+Status MbiIndex::Add(const float* vector, Timestamp t) {
+  MBI_RETURN_IF_ERROR(store_.Append(vector, t));
+  const int64_t n = static_cast<int64_t>(store_.size());
+  if (n % params_.leaf_size == 0) {
+    // This insert completed leaf number n / S_L: run the merge cascade
+    // (Algorithm 3 lines 4-14).
+    BuildNodes(BlockTreeShape::MergeCascade(n / params_.leaf_size));
+  }
+  return Status::Ok();
+}
+
+Status MbiIndex::AddBatch(const float* vectors, const Timestamp* timestamps,
+                          size_t count, bool defer_builds) {
+  if (!defer_builds) {
+    for (size_t i = 0; i < count; ++i) {
+      MBI_RETURN_IF_ERROR(Add(vectors + i * store_.dim(), timestamps[i]));
+    }
+    return Status::Ok();
+  }
+  MBI_RETURN_IF_ERROR(store_.AppendBatch(vectors, timestamps, count));
+  BuildPendingBlocks();
+  return Status::Ok();
+}
+
+void MbiIndex::BuildPendingBlocks() {
+  const BlockTreeShape s = shape();
+  std::vector<TreeNode> pending;
+  for (const TreeNode& node : s.AllFullNodes()) {
+    if (s.PostorderIndex(node) >= static_cast<int64_t>(blocks_.size())) {
+      pending.push_back(node);
+    }
+  }
+  // AllFullNodes is already in creation order; the filter preserves it.
+  BuildNodes(pending);
+}
+
+void MbiIndex::BuildNodes(const std::vector<TreeNode>& nodes) {
+  if (nodes.empty()) return;
+  const BlockTreeShape s = shape();
+  WallTimer timer;
+
+  const size_t first = blocks_.size();
+  blocks_.resize(first + nodes.size());
+  auto build_one = [&](size_t i) {
+    const IdRange range = s.NodeRange(nodes[i]);
+    // Note: per-block NNDescent runs serially here; parallelism comes from
+    // building the independent blocks of the cascade concurrently, exactly
+    // as described in the paper's "Parallelization of MBI".
+    blocks_[first + i] =
+        BuildBlockIndex(params_.block_kind, store_, range, params_.build,
+                        /*pool=*/nullptr);
+  };
+
+  if (pool_ != nullptr && nodes.size() > 1) {
+    pool_->ParallelFor(nodes.size(), build_one);
+  } else {
+    for (size_t i = 0; i < nodes.size(); ++i) build_one(i);
+  }
+
+  // Creation order must equal postorder numbering (Algorithm 3).
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    MBI_CHECK(s.PostorderIndex(nodes[i]) ==
+              static_cast<int64_t>(first + i));
+  }
+  build_seconds_ += timer.ElapsedSeconds();
+}
+
+std::vector<SelectedBlock> MbiIndex::SelectSearchBlocks(
+    const TimeWindow& window) const {
+  return SelectSearchBlocks(window, params_.tau);
+}
+
+std::vector<SelectedBlock> MbiIndex::SelectSearchBlocks(
+    const TimeWindow& window, double tau) const {
+  return SelectSearchBlocksForRange(store_.FindRange(window), tau);
+}
+
+std::vector<SelectedBlock> MbiIndex::SelectSearchBlocksForRange(
+    const IdRange& range, double tau) const {
+  // Blocks are contiguous id slices, so both the query and each block are
+  // intervals on the id axis; the overlap ratio is a count fraction.
+  return SelectBlocks(
+      shape(), TimeWindow{range.begin, range.end}, tau,
+      [](const IdRange& r) { return TimeWindow{r.begin, r.end}; });
+}
+
+SearchResult MbiIndex::Search(const float* query, const TimeWindow& window,
+                              const SearchParams& search, QueryContext* ctx,
+                              MbiQueryStats* stats) const {
+  return SearchWithTau(query, window, search, params_.tau, ctx, stats);
+}
+
+SearchResult MbiIndex::SearchWithTau(const float* query,
+                                     const TimeWindow& window,
+                                     const SearchParams& search, double tau,
+                                     QueryContext* ctx,
+                                     MbiQueryStats* stats) const {
+  TopKHeap heap(search.k);
+  if (store_.empty()) return {};
+
+  // Map the time window to its id range once (Algorithm 1 line 1); all
+  // per-block filtering happens on ids.
+  const IdRange qrange = store_.FindRange(window);
+  if (qrange.Empty()) return {};
+
+  const std::vector<SelectedBlock> selected =
+      SelectSearchBlocksForRange(qrange, tau);
+
+  for (const SelectedBlock& sel : selected) {
+    // If the block lies entirely inside the query range, drop the filter:
+    // every vertex qualifies, so the search degenerates to plain kNN.
+    const bool fully_covered =
+        qrange.begin <= sel.range.begin && sel.range.end <= qrange.end;
+    const IdRange* filter = fully_covered ? nullptr : &qrange;
+
+    bool use_graph = sel.has_graph;
+    SearchParams block_search = search;
+    if (use_graph && params_.adaptive_block_search) {
+      IdRange scan = sel.range;
+      scan.begin = std::max(scan.begin, qrange.begin);
+      scan.end = std::min(scan.end, qrange.end);
+      const int64_t block_in_window = std::max<int64_t>(scan.size(), 0);
+
+      // Per-block candidate scaling: Theorem 4.2 charges each block
+      // O(log + k/tau) work, not a full M_C — give each block a share of
+      // the candidate budget proportional to its share of the window.
+      const double share =
+          qrange.size() > 0
+              ? static_cast<double>(block_in_window) / qrange.size()
+              : 1.0;
+      block_search.max_candidates = std::max<size_t>(
+          2 * search.k,
+          static_cast<size_t>(search.max_candidates * share + 0.5));
+
+      // Exact-scan fallback: when few in-window vectors fall inside this
+      // block, a scan costs fewer distance evaluations than the graph
+      // search (which touches ~M_C * degree vectors) and is always exact.
+      const double graph_cost =
+          static_cast<double>(std::min<int64_t>(
+              sel.range.size(),
+              static_cast<int64_t>(block_search.max_candidates))) *
+          static_cast<double>(params_.build.degree);
+      if (static_cast<double>(block_in_window) <=
+          params_.adaptive_scan_factor * graph_cost) {
+        use_graph = false;
+      }
+    }
+
+    if (use_graph) {
+      const int64_t idx = shape().PostorderIndex(sel.node);
+      MBI_DCHECK(idx >= 0 && idx < static_cast<int64_t>(blocks_.size()));
+      // Each block runs an *independent* Algorithm 2 query whose results are
+      // then unioned (Algorithm 4 lines 6/8). Sharing one result set would
+      // let a previous block's hits range-restrict this block's search from
+      // its very first (random) hop, stalling navigation.
+      TopKHeap block_heap(search.k);
+      blocks_[static_cast<size_t>(idx)]->Search(
+          store_, query, block_search, filter, ctx->searcher(), ctx->rng(),
+          &block_heap, stats != nullptr ? &stats->search : nullptr);
+      for (const Neighbor& nb : block_heap.contents()) {
+        heap.Push(nb.distance, nb.id);
+      }
+      if (stats != nullptr) ++stats->graph_blocks;
+    } else {
+      // Non-full tail leaf: Algorithm 4 line 6 (BSBF inside the block).
+      ExactScan(store_, sel.range, query, filter, &heap,
+                stats != nullptr ? &stats->search : nullptr);
+      if (stats != nullptr) ++stats->exact_blocks;
+    }
+  }
+  if (stats != nullptr) stats->blocks_searched += selected.size();
+  return heap.ExtractSorted();
+}
+
+SearchResult MbiIndex::SearchAll(const float* query, const SearchParams& search,
+                                 QueryContext* ctx) const {
+  return Search(query, TimeWindow::All(), search, ctx);
+}
+
+MbiStats MbiIndex::GetStats() const {
+  MbiStats out;
+  out.num_vectors = store_.size();
+  out.num_blocks = blocks_.size();
+  out.store_bytes = store_.MemoryBytes();
+  out.cumulative_build_seconds = build_seconds_;
+
+  std::vector<bool> level_seen;
+  const BlockTreeShape s = shape();
+  for (const TreeNode& node : s.AllFullNodes()) {
+    if (static_cast<size_t>(node.height) >= level_seen.size()) {
+      level_seen.resize(node.height + 1, false);
+    }
+    level_seen[node.height] = true;
+  }
+  out.num_levels = static_cast<size_t>(
+      std::count(level_seen.begin(), level_seen.end(), true));
+  for (const auto& b : blocks_) out.index_bytes += b->MemoryBytes();
+  return out;
+}
+
+}  // namespace mbi

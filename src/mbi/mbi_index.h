@@ -1,0 +1,191 @@
+// MbiIndex — Multi-level Block Indexing for time-restricted kNN search.
+//
+// The paper's primary contribution (Section 4). An MbiIndex owns an
+// append-only VectorStore plus a forest of per-block kNN indexes arranged as
+// an implicit perfect binary tree over time. Vectors are inserted in
+// timestamp order (Algorithm 3: leaf fills, then bottom-up block merging,
+// optionally in parallel); TkNN queries run Algorithm 4 (top-down block
+// selection followed by per-block search and result merging).
+
+#ifndef MBI_MBI_MBI_INDEX_H_
+#define MBI_MBI_MBI_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/time_window.h"
+#include "core/types.h"
+#include "core/vector_store.h"
+#include "graph/builder_params.h"
+#include "graph/search.h"
+#include "index/block_index.h"
+#include "mbi/block_tree.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mbi {
+
+class ThreadPool;
+
+/// Construction-time and query-time parameters of MBI (paper Table 3).
+struct MbiParams {
+  /// Leaf block capacity S_L.
+  int64_t leaf_size = 10000;
+
+  /// Block-selection threshold tau in (0, 1]. The paper proves at most two
+  /// blocks are searched when tau <= 0.5 (Lemma 4.1) and recommends ~0.5.
+  double tau = 0.5;
+
+  /// Per-block index implementation (graph = the paper's choice).
+  BlockIndexKind block_kind = BlockIndexKind::kGraph;
+
+  /// kNN-graph construction knobs.
+  GraphBuildParams build;
+
+  /// Worker threads for bottom-up block merging; 1 = serial. The cascade of
+  /// blocks finished by one insertion is built concurrently, as in the
+  /// paper's "Parallelization of MBI".
+  size_t num_threads = 1;
+
+  /// Extension (off by default for paper fidelity): per selected block,
+  /// fall back to an exact scan when the block's in-window vector count is
+  /// at most adaptive_scan_factor * M_C * degree — the expected number of
+  /// distance evaluations of the graph search. Makes MBI at least as fast
+  /// as BSBF on short windows at any scale; see bench_ablation_adaptive.
+  bool adaptive_block_search = false;
+  double adaptive_scan_factor = 1.0;
+
+  /// Validates ranges; returns InvalidArgument on nonsense values.
+  Status Validate() const;
+};
+
+/// Aggregate statistics for reporting (Table 4 / Figure 7).
+struct MbiStats {
+  size_t num_vectors = 0;
+  size_t num_blocks = 0;           ///< full blocks with an index
+  size_t num_levels = 0;           ///< distinct materialized heights
+  size_t index_bytes = 0;          ///< sum of block index structures
+  size_t store_bytes = 0;          ///< raw vectors + timestamps
+  double cumulative_build_seconds = 0.0;
+};
+
+/// Per-query diagnostics.
+struct MbiQueryStats {
+  size_t blocks_searched = 0;      ///< graph blocks + exact-scanned leaves
+  size_t graph_blocks = 0;
+  size_t exact_blocks = 0;
+  SearchStats search;
+};
+
+/// Per-thread scratch for queries. Create one per querying thread; reusing
+/// it across queries avoids allocation on the hot path.
+class QueryContext {
+ public:
+  explicit QueryContext(uint64_t seed = 0xC0FFEE) : rng_(seed) {}
+
+  GraphSearcher* searcher() { return &searcher_; }
+  Rng* rng() { return &rng_; }
+
+ private:
+  GraphSearcher searcher_;
+  Rng rng_;
+};
+
+class MbiIndex {
+ public:
+  /// Creates an empty index for `dim`-dimensional vectors under `metric`.
+  /// Params must validate; construction aborts otherwise (programmer error).
+  MbiIndex(size_t dim, Metric metric, const MbiParams& params);
+  ~MbiIndex();
+
+  MbiIndex(const MbiIndex&) = delete;
+  MbiIndex& operator=(const MbiIndex&) = delete;
+
+  /// Inserts one timestamped vector (Algorithm 3). Timestamps must be
+  /// non-decreasing. When the insert completes a leaf, the merge cascade
+  /// builds every finished block before returning.
+  Status Add(const float* vector, Timestamp t);
+
+  /// Bulk-loads `count` vectors. With `defer_builds`, block construction is
+  /// postponed until the end and all pending blocks are built concurrently
+  /// on the worker pool — the paper's parallel construction mode.
+  Status AddBatch(const float* vectors, const Timestamp* timestamps,
+                  size_t count, bool defer_builds = false);
+
+  /// Answers a TkNN query (Algorithm 4): top-k vectors nearest to `query`
+  /// with timestamp in `window`. `search` carries k, M_C and epsilon.
+  SearchResult Search(const float* query, const TimeWindow& window,
+                      const SearchParams& search, QueryContext* ctx,
+                      MbiQueryStats* stats = nullptr) const;
+
+  /// Search with a one-off block-selection threshold instead of
+  /// params().tau. Tau is a pure query-time parameter (the block structure
+  /// is identical for every tau), so parameter studies like the paper's
+  /// Figure 9 can share a single built index.
+  SearchResult SearchWithTau(const float* query, const TimeWindow& window,
+                             const SearchParams& search, double tau,
+                             QueryContext* ctx,
+                             MbiQueryStats* stats = nullptr) const;
+
+  /// Convenience: unrestricted kNN (window = all time).
+  SearchResult SearchAll(const float* query, const SearchParams& search,
+                         QueryContext* ctx) const;
+
+  /// The search block set Algorithm 4 would use for `window` (exposed for
+  /// tests, benches and EXPLAIN-style debugging). The two-argument form
+  /// overrides tau. Selection happens in id space: the window is first
+  /// mapped to its id range (the paper's convention for duplicate
+  /// timestamps, and the count-fraction overlap ratio Theorem 4.2 assumes).
+  std::vector<SelectedBlock> SelectSearchBlocks(const TimeWindow& window) const;
+  std::vector<SelectedBlock> SelectSearchBlocks(const TimeWindow& window,
+                                                double tau) const;
+
+  /// Selection for a query already expressed as an id range.
+  std::vector<SelectedBlock> SelectSearchBlocksForRange(const IdRange& range,
+                                                        double tau) const;
+
+  /// Tree shape for the current size.
+  BlockTreeShape shape() const {
+    return BlockTreeShape(static_cast<int64_t>(store_.size()),
+                          params_.leaf_size);
+  }
+
+  const VectorStore& store() const { return store_; }
+  const MbiParams& params() const { return params_; }
+  size_t size() const { return store_.size(); }
+
+  /// Number of materialized full blocks.
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// The i-th block in creation (postorder) order.
+  const BlockKnnIndex& block(size_t i) const { return *blocks_[i]; }
+
+  MbiStats GetStats() const;
+
+  /// Serialization to a single file.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save. Replaces this index's
+  /// contents; dim/metric/params come from the file.
+  static Result<std::unique_ptr<MbiIndex>> Load(const std::string& path);
+
+ private:
+  friend class MbiIo;  // serialization helper
+
+  // Builds every materialized block whose creation index >= blocks_.size().
+  void BuildPendingBlocks();
+
+  // Builds the given nodes (creation order) and appends them to blocks_.
+  void BuildNodes(const std::vector<TreeNode>& nodes);
+
+  MbiParams params_;
+  VectorStore store_;
+  std::vector<std::unique_ptr<BlockKnnIndex>> blocks_;  // creation order
+  std::unique_ptr<ThreadPool> pool_;                    // null when serial
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_MBI_MBI_INDEX_H_

@@ -1,0 +1,114 @@
+// MbiIndex serialization: a single little-endian binary file containing the
+// parameters, the vector store, and every block index in creation order.
+
+#include <cstring>
+
+#include "mbi/mbi_index.h"
+#include "util/check.h"
+#include "util/io.h"
+
+namespace mbi {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'B', 'I', 'X', '0', '0', '0', '1'};
+
+}  // namespace
+
+Status MbiIndex::Save(const std::string& path) const {
+  BinaryWriter w;
+  MBI_RETURN_IF_ERROR(w.Open(path));
+  MBI_RETURN_IF_ERROR(w.WriteBytes(kMagic, sizeof(kMagic)));
+
+  // Parameters.
+  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(store_.dim()));
+  MBI_RETURN_IF_ERROR(w.Write<uint32_t>(static_cast<uint32_t>(store_.metric())));
+  MBI_RETURN_IF_ERROR(w.Write<int64_t>(params_.leaf_size));
+  MBI_RETURN_IF_ERROR(w.Write<double>(params_.tau));
+  MBI_RETURN_IF_ERROR(w.Write<uint32_t>(static_cast<uint32_t>(params_.block_kind)));
+  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(params_.build.degree));
+  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(params_.build.exact_threshold));
+  MBI_RETURN_IF_ERROR(w.Write<double>(params_.build.rho));
+  MBI_RETURN_IF_ERROR(w.Write<double>(params_.build.delta));
+  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(params_.build.max_iterations));
+  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(params_.build.seed));
+
+  // Store contents.
+  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(store_.size()));
+  MBI_RETURN_IF_ERROR(
+      w.WriteBytes(store_.data(), store_.size() * store_.dim() * sizeof(float)));
+  MBI_RETURN_IF_ERROR(w.WriteBytes(store_.timestamps(),
+                                   store_.size() * sizeof(Timestamp)));
+
+  // Blocks.
+  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(blocks_.size()));
+  for (const auto& block : blocks_) {
+    MBI_RETURN_IF_ERROR(w.Write<uint32_t>(static_cast<uint32_t>(block->kind())));
+    MBI_RETURN_IF_ERROR(block->Save(&w));
+  }
+  return w.Close();
+}
+
+Result<std::unique_ptr<MbiIndex>> MbiIndex::Load(const std::string& path) {
+  BinaryReader r;
+  MBI_RETURN_IF_ERROR(r.Open(path));
+
+  char magic[8];
+  MBI_RETURN_IF_ERROR(r.ReadBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not an MBI index file: " + path);
+  }
+
+  uint64_t dim = 0;
+  uint32_t metric_raw = 0, kind_raw = 0;
+  MbiParams params;
+  MBI_RETURN_IF_ERROR(r.Read<uint64_t>(&dim));
+  MBI_RETURN_IF_ERROR(r.Read<uint32_t>(&metric_raw));
+  MBI_RETURN_IF_ERROR(r.Read<int64_t>(&params.leaf_size));
+  MBI_RETURN_IF_ERROR(r.Read<double>(&params.tau));
+  MBI_RETURN_IF_ERROR(r.Read<uint32_t>(&kind_raw));
+  MBI_RETURN_IF_ERROR(r.Read<uint64_t>(&params.build.degree));
+  MBI_RETURN_IF_ERROR(r.Read<uint64_t>(&params.build.exact_threshold));
+  MBI_RETURN_IF_ERROR(r.Read<double>(&params.build.rho));
+  MBI_RETURN_IF_ERROR(r.Read<double>(&params.build.delta));
+  MBI_RETURN_IF_ERROR(r.Read<uint64_t>(&params.build.max_iterations));
+  MBI_RETURN_IF_ERROR(r.Read<uint64_t>(&params.build.seed));
+  if (dim == 0 || metric_raw > 2 || kind_raw > 2) {
+    return Status::IoError("corrupt MBI index header");
+  }
+  params.block_kind = static_cast<BlockIndexKind>(kind_raw);
+  MBI_RETURN_IF_ERROR(params.Validate());
+
+  auto index = std::make_unique<MbiIndex>(
+      dim, static_cast<Metric>(metric_raw), params);
+
+  uint64_t n = 0;
+  MBI_RETURN_IF_ERROR(r.Read<uint64_t>(&n));
+  std::vector<float> data(n * dim);
+  std::vector<Timestamp> timestamps(n);
+  MBI_RETURN_IF_ERROR(r.ReadBytes(data.data(), data.size() * sizeof(float)));
+  MBI_RETURN_IF_ERROR(
+      r.ReadBytes(timestamps.data(), n * sizeof(Timestamp)));
+  MBI_RETURN_IF_ERROR(
+      index->store_.AppendBatch(data.data(), timestamps.data(), n));
+
+  uint64_t num_blocks = 0;
+  MBI_RETURN_IF_ERROR(r.Read<uint64_t>(&num_blocks));
+  const int64_t expected = index->shape().NumFullBlocks();
+  if (static_cast<int64_t>(num_blocks) != expected) {
+    return Status::IoError("corrupt MBI index: block count mismatch");
+  }
+  index->blocks_.reserve(num_blocks);
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    uint32_t block_kind = 0;
+    MBI_RETURN_IF_ERROR(r.Read<uint32_t>(&block_kind));
+    if (block_kind > 2) return Status::IoError("corrupt block kind");
+    auto block = MakeEmptyBlockIndex(static_cast<BlockIndexKind>(block_kind));
+    MBI_RETURN_IF_ERROR(block->Load(&r));
+    index->blocks_.push_back(std::move(block));
+  }
+  MBI_RETURN_IF_ERROR(r.Close());
+  return Result<std::unique_ptr<MbiIndex>>(std::move(index));
+}
+
+}  // namespace mbi

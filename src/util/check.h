@@ -1,0 +1,41 @@
+// Invariant-checking macros.
+//
+// MBI_CHECK fires in all build types: invariant violations in an index
+// structure silently corrupt query results, so they must never be compiled
+// out. MBI_DCHECK is for hot-path checks and compiles away in NDEBUG builds.
+
+#ifndef MBI_UTIL_CHECK_H_
+#define MBI_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MBI_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "MBI_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define MBI_CHECK_OK(expr)                                                \
+  do {                                                                    \
+    ::mbi::Status _mbi_check_status = (expr);                             \
+    if (!_mbi_check_status.ok()) {                                        \
+      std::fprintf(stderr, "MBI_CHECK_OK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__,                                    \
+                   _mbi_check_status.ToString().c_str());                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MBI_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define MBI_DCHECK(cond) MBI_CHECK(cond)
+#endif
+
+#endif  // MBI_UTIL_CHECK_H_

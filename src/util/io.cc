@@ -1,0 +1,74 @@
+#include "util/io.h"
+
+namespace mbi {
+
+BinaryWriter::~BinaryWriter() { Close(); }
+
+Status BinaryWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return Status::Ok();
+}
+
+Status BinaryWriter::Close() {
+  if (file_ != nullptr) {
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IoError("fclose failed");
+  }
+  return Status::Ok();
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  if (size == 0) return Status::Ok();
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return Status::IoError("short write");
+  }
+  return Status::Ok();
+}
+
+Status BinaryWriter::WriteString(const std::string& s) {
+  MBI_RETURN_IF_ERROR(Write<uint64_t>(s.size()));
+  return WriteBytes(s.data(), s.size());
+}
+
+BinaryReader::~BinaryReader() { Close(); }
+
+Status BinaryReader::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t size) {
+  if (file_ == nullptr) return Status::FailedPrecondition("reader not open");
+  if (size == 0) return Status::Ok();
+  if (std::fread(data, 1, size, file_) != size) {
+    return Status::IoError("short read");
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  MBI_RETURN_IF_ERROR(Read<uint64_t>(&n));
+  s->resize(n);
+  return ReadBytes(s->data(), n);
+}
+
+}  // namespace mbi

@@ -1,0 +1,102 @@
+// Binary (de)serialization streams used by index save/load.
+//
+// The on-disk format is little-endian native-width POD; these helpers add
+// error propagation and convenience methods for vectors and strings.
+
+#ifndef MBI_UTIL_IO_H_
+#define MBI_UTIL_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mbi {
+
+/// Streaming binary writer over a stdio FILE. Not thread-safe.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Opens `path` for writing (truncates).
+  Status Open(const std::string& path);
+
+  /// Flushes and closes; safe to call twice.
+  Status Close();
+
+  /// Writes a trivially copyable value.
+  template <typename T>
+  Status Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(&value, sizeof(T));
+  }
+
+  /// Writes raw bytes.
+  Status WriteBytes(const void* data, size_t size);
+
+  /// Writes a length-prefixed vector of PODs.
+  template <typename T>
+  Status WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MBI_RETURN_IF_ERROR(Write<uint64_t>(v.size()));
+    if (!v.empty()) {
+      MBI_RETURN_IF_ERROR(WriteBytes(v.data(), v.size() * sizeof(T)));
+    }
+    return Status::Ok();
+  }
+
+  /// Writes a length-prefixed string.
+  Status WriteString(const std::string& s);
+
+ private:
+  FILE* file_ = nullptr;
+};
+
+/// Streaming binary reader over a stdio FILE. Not thread-safe.
+class BinaryReader {
+ public:
+  BinaryReader() = default;
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  Status Open(const std::string& path);
+  Status Close();
+
+  template <typename T>
+  Status Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  Status ReadBytes(void* data, size_t size);
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    MBI_RETURN_IF_ERROR(Read<uint64_t>(&n));
+    v->resize(n);
+    if (n > 0) {
+      MBI_RETURN_IF_ERROR(ReadBytes(v->data(), n * sizeof(T)));
+    }
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* s);
+
+ private:
+  FILE* file_ = nullptr;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_IO_H_

@@ -1,0 +1,107 @@
+// Deterministic, fast random number generation.
+//
+// All randomized components of the library (dataset synthesis, NNDescent
+// initialization, graph-search entry points, workload generation) take an
+// explicit seed so that experiments and tests are reproducible bit-for-bit.
+
+#ifndef MBI_UTIL_RNG_H_
+#define MBI_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace mbi {
+
+/// SplitMix64: tiny, statistically solid 64-bit generator. Used directly and
+/// to seed Xoshiro256++.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256++: the library's default generator. Satisfies the
+/// UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5EEDBA5EBA11ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Standard normal variate (Box-Muller; one value per call, simple and
+  /// branch-light enough for data synthesis).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    // Guard against log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_RNG_H_

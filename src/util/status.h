@@ -1,0 +1,148 @@
+// Lightweight Status / Result<T> error-propagation types.
+//
+// The library does not throw exceptions on hot paths; fallible operations
+// (IO, configuration validation, out-of-order appends) return a Status or a
+// Result<T>, mirroring the absl::Status / absl::StatusOr idiom.
+
+#ifndef MBI_UTIL_STATUS_H_
+#define MBI_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mbi {
+
+/// Coarse error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy when OK
+/// (no message allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status (never both).
+///
+/// Use `result.ok()` before `result.value()`. Accessing the value of an
+/// errored result aborts with a diagnostic.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from error statuses keeps call
+  // sites terse (`return Status::IoError(...)` / `return my_value`).
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {     // NOLINT(runtime/explicit)
+    if (std::get<Status>(data_).ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(data_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define MBI_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::mbi::Status _mbi_status = (expr);            \
+    if (!_mbi_status.ok()) return _mbi_status;     \
+  } while (0)
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_STATUS_H_

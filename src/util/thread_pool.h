@@ -1,0 +1,63 @@
+// Fixed-size worker pool used to parallelize block construction (paper
+// Section 4.2, "Parallelization of MBI") and ground-truth computation.
+
+#ifndef MBI_UTIL_THREAD_POOL_H_
+#define MBI_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbi {
+
+/// A minimal task-queue thread pool.
+///
+/// Tasks are void() callables. Wait() blocks until every submitted task has
+/// finished, so a caller can submit a batch of independent block builds and
+/// then synchronize (a barrier per insertion step, as in Algorithm 3's
+/// parallel variant).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  // Not copyable or movable: worker threads capture `this`.
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all previously submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for each i in [0, n), distributed over the workers, and
+  /// blocks until done. Work is split into contiguous chunks.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Default parallelism: hardware_concurrency(), at least 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_THREAD_POOL_H_

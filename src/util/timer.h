@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for benches and progress accounting.
+
+#ifndef MBI_UTIL_TIMER_H_
+#define MBI_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mbi {
+
+/// Monotonic stopwatch. Starts on construction; Restart() re-arms it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_TIMER_H_

@@ -1,0 +1,56 @@
+// Epoch-based visited marker for graph traversals.
+//
+// Graph search visits a small fraction of a block's nodes per query; clearing
+// a bitset per query would dominate short searches. VisitedSet instead bumps
+// an epoch counter: a slot is "visited" iff its stored epoch equals the
+// current one, so Reset() is O(1) except for a rare full clear on wraparound.
+
+#ifndef MBI_UTIL_VISITED_SET_H_
+#define MBI_UTIL_VISITED_SET_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace mbi {
+
+class VisitedSet {
+ public:
+  VisitedSet() = default;
+  explicit VisitedSet(size_t n) : marks_(n, 0) {}
+
+  /// Grows capacity to at least n slots (existing marks preserved).
+  void EnsureCapacity(size_t n) {
+    if (marks_.size() < n) marks_.resize(n, 0);
+  }
+
+  /// Starts a new traversal; all slots become unvisited in O(1).
+  void Reset() {
+    ++epoch_;
+    if (epoch_ == 0) {  // wraparound: clear everything and restart at 1
+      std::memset(marks_.data(), 0, marks_.size() * sizeof(uint32_t));
+      epoch_ = 1;
+    }
+  }
+
+  bool Test(size_t i) const { return marks_[i] == epoch_; }
+
+  void Set(size_t i) { marks_[i] = epoch_; }
+
+  /// Test-and-set in one call; returns the previous state.
+  bool TestAndSet(size_t i) {
+    bool was = marks_[i] == epoch_;
+    marks_[i] = epoch_;
+    return was;
+  }
+
+  size_t capacity() const { return marks_.size(); }
+
+ private:
+  std::vector<uint32_t> marks_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_VISITED_SET_H_

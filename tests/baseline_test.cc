@@ -1,0 +1,161 @@
+// Baselines: BSBF (exact — property-checked against a naive scan) and SF.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bsbf.h"
+#include "baseline/sf_index.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "util/rng.h"
+
+namespace mbi {
+namespace {
+
+// Independent exact reference: full sort of in-window candidates.
+SearchResult NaiveTknn(const SyntheticData& data, const DistanceFunction& dist,
+                       const float* q, size_t k, const TimeWindow& w) {
+  std::vector<Neighbor> all;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!w.Contains(data.timestamps[i])) continue;
+    all.push_back({dist(q, data.vector(i)), static_cast<VectorId>(i)});
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+class BsbfPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BsbfPropertyTest, MatchesNaiveOnRandomWindows) {
+  const size_t k = GetParam();
+  const size_t kN = 400, kDim = 8;
+  SyntheticParams gen;
+  gen.dim = kDim;
+  gen.seed = k;
+  SyntheticData data = GenerateSynthetic(gen, kN);
+
+  BsbfIndex index(kDim, Metric::kL2);
+  ASSERT_TRUE(
+      index.AddBatch(data.vectors.data(), data.timestamps.data(), kN).ok());
+  DistanceFunction dist(Metric::kL2, kDim);
+  auto queries = GenerateQueries(gen, 4);
+
+  Rng rng(k * 999 + 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t a = static_cast<int64_t>(rng.NextBounded(kN));
+    int64_t b = a + 1 + static_cast<int64_t>(rng.NextBounded(kN - a));
+    TimeWindow w{a, b};
+    for (size_t qi = 0; qi < 4; ++qi) {
+      const float* q = queries.data() + qi * kDim;
+      SearchResult got = index.Search(q, k, w);
+      SearchResult want = NaiveTknn(data, dist, q, k, w);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << "trial " << trial;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, BsbfPropertyTest, ::testing::Values(1, 5, 10, 50));
+
+TEST(BsbfTest, EmptyWindowReturnsEmpty) {
+  BsbfIndex index(4, Metric::kL2);
+  float v[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(index.Add(v, 10).ok());
+  EXPECT_TRUE(index.Search(v, 5, {20, 30}).empty());
+  EXPECT_TRUE(index.Search(v, 5, {10, 10}).empty());
+}
+
+TEST(BsbfTest, WindowSmallerThanKReturnsAll) {
+  BsbfIndex index(1, Metric::kL2);
+  for (Timestamp t = 0; t < 10; ++t) {
+    float v = static_cast<float>(t);
+    ASSERT_TRUE(index.Add(&v, t).ok());
+  }
+  float q = 0;
+  SearchResult r = index.Search(&q, 5, {3, 6});
+  ASSERT_EQ(r.size(), 3u);  // only 3 vectors in window
+  EXPECT_EQ(r[0].id, 3);
+  EXPECT_EQ(r[1].id, 4);
+  EXPECT_EQ(r[2].id, 5);
+}
+
+TEST(BsbfTest, EmptyIndex) {
+  BsbfIndex index(2, Metric::kL2);
+  float q[2] = {0, 0};
+  EXPECT_TRUE(index.Search(q, 3, TimeWindow::All()).empty());
+}
+
+TEST(SfTest, BuildThenSearchFindsKInWindow) {
+  const size_t kN = 1500, kDim = 16;
+  SyntheticParams gen;
+  gen.dim = kDim;
+  gen.seed = 77;
+  SyntheticData data = GenerateSynthetic(gen, kN);
+  GraphBuildParams build;
+  build.degree = 16;
+  build.exact_threshold = 0;  // force NNDescent
+  SfIndex sf(kDim, Metric::kL2, build);
+  ASSERT_TRUE(
+      sf.AddBatch(data.vectors.data(), data.timestamps.data(), kN).ok());
+  sf.Build();
+  ASSERT_TRUE(sf.built());
+  EXPECT_GT(sf.IndexBytes(), 0u);
+  EXPECT_GT(sf.build_seconds(), 0.0);
+
+  auto queries = GenerateQueries(gen, 10);
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 10;
+  sp.max_candidates = 64;
+  sp.epsilon = 1.2f;
+  sp.num_entry_points = 8;
+
+  TimeWindow w{200, 1300};
+  for (size_t qi = 0; qi < 10; ++qi) {
+    SearchResult got = sf.Search(queries.data() + qi * kDim, w, sp, &ctx);
+    EXPECT_EQ(got.size(), 10u);
+    for (const Neighbor& nb : got) {
+      EXPECT_TRUE(w.Contains(sf.store().GetTimestamp(nb.id)));
+    }
+  }
+}
+
+TEST(SfTest, FullWindowRecallAgainstBsbf) {
+  const size_t kN = 1200, kDim = 16;
+  SyntheticParams gen;
+  gen.dim = kDim;
+  gen.seed = 88;
+  SyntheticData data = GenerateSynthetic(gen, kN);
+  GraphBuildParams build;
+  build.degree = 16;
+  SfIndex sf(kDim, Metric::kL2, build);
+  ASSERT_TRUE(
+      sf.AddBatch(data.vectors.data(), data.timestamps.data(), kN).ok());
+  sf.Build();
+  BsbfIndex bsbf(kDim, Metric::kL2);
+  ASSERT_TRUE(
+      bsbf.AddBatch(data.vectors.data(), data.timestamps.data(), kN).ok());
+
+  auto queries = GenerateQueries(gen, 20);
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 10;
+  sp.max_candidates = 96;
+  sp.epsilon = 1.3f;
+  sp.num_entry_points = 8;
+  double total = 0;
+  for (size_t qi = 0; qi < 20; ++qi) {
+    const float* q = queries.data() + qi * kDim;
+    total += RecallAtK(sf.Search(q, TimeWindow::All(), sp, &ctx),
+                       bsbf.Search(q, 10, TimeWindow::All()), 10);
+  }
+  EXPECT_GE(total / 20, 0.85);
+}
+
+}  // namespace
+}  // namespace mbi

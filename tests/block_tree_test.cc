@@ -1,0 +1,304 @@
+// The implicit block tree: postorder numbering, merge cascades, and
+// top-down block selection — including a property check of Lemma 4.1.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mbi/block_tree.h"
+#include "util/rng.h"
+
+namespace mbi {
+namespace {
+
+// Uniform "virtual timestamp" mapping: vector id == timestamp, so a range
+// [b, e) spans time window [b, e). This matches VectorStore::RangeWindow for
+// a store whose timestamps are 0..n-1.
+TimeWindow UniformWindow(const IdRange& r) {
+  return TimeWindow{r.begin, r.end};
+}
+
+// ------------------------------------------------------------- numbering
+
+TEST(BlockTreeShapeTest, BlocksForLeavesMatchesDefinition) {
+  // B(m) = sum_j floor(m / 2^j).
+  EXPECT_EQ(BlockTreeShape::BlocksForLeaves(0), 0);
+  EXPECT_EQ(BlockTreeShape::BlocksForLeaves(1), 1);
+  EXPECT_EQ(BlockTreeShape::BlocksForLeaves(2), 3);
+  EXPECT_EQ(BlockTreeShape::BlocksForLeaves(3), 4);
+  EXPECT_EQ(BlockTreeShape::BlocksForLeaves(4), 7);
+  EXPECT_EQ(BlockTreeShape::BlocksForLeaves(16), 31);
+}
+
+TEST(BlockTreeShapeTest, MergeCascadeMatchesPaperFigures) {
+  // Paper Figure 2/3 (S_L = 4): leaf 1 -> B0; leaf 2 -> B1 then parent B2;
+  // leaf 4 -> B4, parent B5, grandparent B6.
+  auto c1 = BlockTreeShape::MergeCascade(1);
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0], (TreeNode{0, 0}));
+
+  auto c2 = BlockTreeShape::MergeCascade(2);
+  ASSERT_EQ(c2.size(), 2u);
+  EXPECT_EQ(c2[0], (TreeNode{0, 1}));
+  EXPECT_EQ(c2[1], (TreeNode{1, 0}));
+
+  auto c3 = BlockTreeShape::MergeCascade(3);
+  ASSERT_EQ(c3.size(), 1u);
+  EXPECT_EQ(c3[0], (TreeNode{0, 2}));
+
+  auto c4 = BlockTreeShape::MergeCascade(4);
+  ASSERT_EQ(c4.size(), 3u);
+  EXPECT_EQ(c4[0], (TreeNode{0, 3}));
+  EXPECT_EQ(c4[1], (TreeNode{1, 1}));
+  EXPECT_EQ(c4[2], (TreeNode{2, 0}));
+}
+
+TEST(BlockTreeShapeTest, PostorderIndexMatchesFigure1) {
+  // Figure 1: 16 vectors, S_L = 4 -> leaves B0, B1, B3, B4; parents B2, B5;
+  // root B6.
+  BlockTreeShape shape(16, 4);
+  EXPECT_EQ(shape.PostorderIndex({0, 0}), 0);
+  EXPECT_EQ(shape.PostorderIndex({0, 1}), 1);
+  EXPECT_EQ(shape.PostorderIndex({1, 0}), 2);
+  EXPECT_EQ(shape.PostorderIndex({0, 2}), 3);
+  EXPECT_EQ(shape.PostorderIndex({0, 3}), 4);
+  EXPECT_EQ(shape.PostorderIndex({1, 1}), 5);
+  EXPECT_EQ(shape.PostorderIndex({2, 0}), 6);
+}
+
+TEST(BlockTreeShapeTest, CreationOrderIsPostorderIndexOrder) {
+  // Simulating Algorithm 3 leaf-by-leaf must assign indices 0,1,2,...
+  for (int64_t leaves : {1, 2, 3, 5, 8, 13, 16, 31, 32, 64, 100}) {
+    int64_t counter = 0;
+    BlockTreeShape shape(leaves * 10, 10);  // all leaves full
+    for (int64_t j = 1; j <= leaves; ++j) {
+      for (const TreeNode& node : BlockTreeShape::MergeCascade(j)) {
+        EXPECT_EQ(shape.PostorderIndex(node), counter)
+            << "leaves=" << leaves << " at leaf " << j;
+        ++counter;
+      }
+    }
+    EXPECT_EQ(counter, BlockTreeShape::BlocksForLeaves(leaves));
+  }
+}
+
+TEST(BlockTreeShapeTest, SiblingArithmeticFromPaper) {
+  // Algorithm 3: a right child at index i with parent at height h has its
+  // sibling at index i + 1 - 2^h.
+  BlockTreeShape shape(1024, 1);  // 1024 leaves, S_L = 1
+  for (int32_t h = 1; h <= 5; ++h) {
+    for (int64_t p = 0; p < 8; ++p) {
+      TreeNode parent{h, p};
+      TreeNode left{h - 1, 2 * p};
+      TreeNode right{h - 1, 2 * p + 1};
+      int64_t i = shape.PostorderIndex(right);
+      EXPECT_EQ(shape.PostorderIndex(parent), i + 1);
+      EXPECT_EQ(shape.PostorderIndex(left), i + 1 - (int64_t{1} << h));
+    }
+  }
+}
+
+TEST(BlockTreeShapeTest, AllFullNodesIsCreationOrderPermutation) {
+  for (int64_t n : {0, 1, 7, 8, 9, 64, 127, 128, 250}) {
+    BlockTreeShape shape(n, 8);
+    auto nodes = shape.AllFullNodes();
+    EXPECT_EQ(static_cast<int64_t>(nodes.size()), shape.NumFullBlocks());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      EXPECT_EQ(shape.PostorderIndex(nodes[i]), static_cast<int64_t>(i));
+    }
+  }
+}
+
+// ------------------------------------------------------------- geometry
+
+TEST(BlockTreeShapeTest, NodeRangeClipsToData) {
+  BlockTreeShape shape(10, 4);  // leaves: [0,4), [4,8), partial [8,10)
+  EXPECT_EQ(shape.NodeRange({0, 0}), (IdRange{0, 4}));
+  EXPECT_EQ(shape.NodeRange({0, 2}), (IdRange{8, 10}));
+  EXPECT_EQ(shape.NodeRange({1, 0}), (IdRange{0, 8}));
+  EXPECT_EQ(shape.NodeRange({2, 0}), (IdRange{0, 10}));   // clipped root
+  EXPECT_TRUE(shape.NodeRange({0, 3}).Empty());           // beyond data
+}
+
+TEST(BlockTreeShapeTest, MaterializationRules) {
+  BlockTreeShape shape(10, 4);  // 2 full leaves + partial
+  EXPECT_EQ(shape.full_leaves(), 2);
+  EXPECT_TRUE(shape.has_partial_leaf());
+  EXPECT_EQ(shape.total_leaves(), 3);
+  EXPECT_EQ(shape.root_height(), 2);
+
+  EXPECT_TRUE(shape.IsMaterialized({0, 0}));
+  EXPECT_TRUE(shape.IsMaterialized({0, 1}));
+  EXPECT_TRUE(shape.IsMaterialized({1, 0}));   // both children full
+  EXPECT_TRUE(shape.IsMaterialized({0, 2}));   // the partial leaf
+  EXPECT_TRUE(shape.IsPartialLeaf({0, 2}));
+  EXPECT_FALSE(shape.IsMaterialized({1, 1}));  // virtual
+  EXPECT_FALSE(shape.IsMaterialized({2, 0}));  // virtual root
+}
+
+TEST(BlockTreeShapeTest, ExactMultipleHasNoPartialLeaf) {
+  BlockTreeShape shape(16, 4);
+  EXPECT_FALSE(shape.has_partial_leaf());
+  EXPECT_EQ(shape.total_leaves(), 4);
+  EXPECT_EQ(shape.root_height(), 2);
+  EXPECT_TRUE(shape.IsMaterialized({2, 0}));  // real root
+}
+
+TEST(BlockTreeShapeTest, EmptyShape) {
+  BlockTreeShape shape(0, 4);
+  EXPECT_EQ(shape.total_leaves(), 0);
+  EXPECT_EQ(shape.NumFullBlocks(), 0);
+  EXPECT_TRUE(shape.AllFullNodes().empty());
+}
+
+// ------------------------------------------------------------- selection
+
+std::vector<SelectedBlock> Select(int64_t n, int64_t leaf_size,
+                                  TimeWindow query, double tau) {
+  BlockTreeShape shape(n, leaf_size);
+  return SelectBlocks(shape, query, tau, UniformWindow);
+}
+
+TEST(SelectBlocksTest, HandComputedExample) {
+  // 32 vectors, S_L = 2, timestamps = ids. Window [6, 21).
+  // tau small: root covers it in one block.
+  {
+    auto sel = Select(32, 2, {6, 21}, 0.1);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0].node, (TreeNode{4, 0}));
+  }
+  // tau = 0.5: root ratio 15/32 < 0.5 -> {height-3 left half, height-2
+  // block of ids [16,24)} (the paper Figure 4 pattern: B14 and B21).
+  {
+    auto sel = Select(32, 2, {6, 21}, 0.5);
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_EQ(sel[0].node, (TreeNode{3, 0}));
+    EXPECT_EQ(sel[1].node, (TreeNode{2, 2}));
+    BlockTreeShape shape(32, 2);
+    EXPECT_EQ(shape.PostorderIndex(sel[0].node), 14);
+    EXPECT_EQ(shape.PostorderIndex(sel[1].node), 21);
+  }
+  // tau = 1: only fully-covered blocks and boundary leaves.
+  {
+    auto sel = Select(32, 2, {6, 21}, 1.0);
+    ASSERT_EQ(sel.size(), 4u);
+    EXPECT_EQ(sel[0].node, (TreeNode{0, 3}));   // ids [6,8)   = B4
+    EXPECT_EQ(sel[1].node, (TreeNode{2, 1}));   // ids [8,16)  = B13
+    EXPECT_EQ(sel[2].node, (TreeNode{1, 4}));   // ids [16,20) = B17
+    EXPECT_EQ(sel[3].node, (TreeNode{0, 10}));  // ids [20,22) = B18
+  }
+}
+
+TEST(SelectBlocksTest, EmptyQueryOrData) {
+  EXPECT_TRUE(Select(0, 4, {0, 10}, 0.5).empty());
+  EXPECT_TRUE(Select(16, 4, {5, 5}, 0.5).empty());
+  EXPECT_TRUE(Select(16, 4, {100, 200}, 0.5).empty());  // beyond data
+}
+
+TEST(SelectBlocksTest, PartialLeafIsSelectedWithoutGraph) {
+  // 10 vectors, S_L = 4: window inside the partial tail leaf [8, 10).
+  auto sel = Select(10, 4, {8, 10}, 0.5);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_FALSE(sel[0].has_graph);
+  EXPECT_EQ(sel[0].range, (IdRange{8, 10}));
+}
+
+TEST(SelectBlocksTest, FullLeavesCarryGraphs) {
+  auto sel = Select(16, 4, {0, 16}, 1.1);  // tau > 1: forces leaf level
+  ASSERT_EQ(sel.size(), 4u);
+  for (const auto& s : sel) {
+    EXPECT_EQ(s.node.height, 0);
+    EXPECT_TRUE(s.has_graph);
+  }
+}
+
+// Property check: coverage, disjointness, and selection-rule conformance
+// over randomized configurations.
+struct SelectionCase {
+  int64_t n;
+  int64_t leaf_size;
+  double tau;
+};
+
+class SelectionPropertyTest : public ::testing::TestWithParam<SelectionCase> {};
+
+TEST_P(SelectionPropertyTest, CoverageDisjointnessAndRules) {
+  const auto [n, leaf_size, tau] = GetParam();
+  BlockTreeShape shape(n, leaf_size);
+  Rng rng(static_cast<uint64_t>(n * 131 + leaf_size * 7 + tau * 100));
+
+  for (int trial = 0; trial < 200; ++trial) {
+    int64_t a = static_cast<int64_t>(rng.NextBounded(n + 1));
+    int64_t b = static_cast<int64_t>(rng.NextBounded(n + 1));
+    if (a > b) std::swap(a, b);
+    if (a == b) b = a + 1;
+    TimeWindow query{a, b};
+
+    auto sel = SelectBlocks(shape, query, tau, UniformWindow);
+
+    // (1) sorted and pairwise disjoint.
+    for (size_t i = 1; i < sel.size(); ++i) {
+      EXPECT_LE(sel[i - 1].range.end, sel[i].range.begin);
+    }
+    // (2) together the selected ranges cover exactly the ids in the window
+    //     (with uniform timestamps, those are ids [a, min(b, n)) ), possibly
+    //     with margin inside blocks but never a gap.
+    std::set<int64_t> covered;
+    for (const auto& s : sel) {
+      for (int64_t id = s.range.begin; id < s.range.end; ++id) {
+        covered.insert(id);
+      }
+    }
+    for (int64_t id = a; id < std::min(b, n); ++id) {
+      EXPECT_TRUE(covered.count(id)) << "missing id " << id << " window ["
+                                     << a << "," << b << ") tau " << tau;
+    }
+    // (3) every selected block overlaps the window and obeys case 2.
+    for (const auto& s : sel) {
+      double ro = OverlapRatio(query, UniformWindow(s.range));
+      EXPECT_GT(ro, 0.0);
+      if (s.node.height > 0) {
+        EXPECT_GE(ro, tau);
+        EXPECT_TRUE(shape.IsMaterialized(s.node));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SelectionPropertyTest,
+    ::testing::Values(SelectionCase{64, 4, 0.5}, SelectionCase{64, 4, 0.2},
+                      SelectionCase{64, 4, 0.9}, SelectionCase{100, 7, 0.5},
+                      SelectionCase{100, 7, 0.3}, SelectionCase{33, 8, 0.5},
+                      SelectionCase{1, 4, 0.5}, SelectionCase{256, 16, 0.7},
+                      SelectionCase{255, 16, 0.4}));
+
+// Lemma 4.1: with tau <= 0.5 and a complete tree, at most two blocks are
+// searched.
+class Lemma41Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma41Test, AtMostTwoBlocksWhenTauAtMostHalf) {
+  const double tau = GetParam();
+  const int64_t leaf_size = 4;
+  for (int64_t leaves : {4, 8, 16, 32, 64}) {
+    const int64_t n = leaves * leaf_size;
+    BlockTreeShape shape(n, leaf_size);
+    Rng rng(static_cast<uint64_t>(leaves * 1000 + tau * 100));
+    for (int trial = 0; trial < 300; ++trial) {
+      int64_t a = static_cast<int64_t>(rng.NextBounded(n));
+      int64_t b = static_cast<int64_t>(rng.NextBounded(n)) + 1;
+      if (a >= b) std::swap(a, b), b += 1;
+      auto sel = SelectBlocks(shape, TimeWindow{a, b}, tau, UniformWindow);
+      EXPECT_LE(sel.size(), 2u)
+          << "tau=" << tau << " n=" << n << " window [" << a << "," << b << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, Lemma41Test,
+                         ::testing::Values(0.1, 0.25, 0.4, 0.5));
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,140 @@
+// Concurrent read-side usage: MbiIndex::Search is const and uses only
+// per-QueryContext scratch, so any number of threads may query one index
+// concurrently. Writers require external synchronization (documented);
+// these tests cover the supported reader patterns.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/sf_index.h"
+#include "data/synthetic.h"
+#include "mbi/mbi_index.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+namespace {
+
+class ConcurrencyFixture : public ::testing::Test {
+ protected:
+  static constexpr size_t kN = 2000;
+  static constexpr size_t kDim = 12;
+
+  void SetUp() override {
+    SyntheticParams gen;
+    gen.dim = kDim;
+    gen.seed = 808;
+    data_ = GenerateSynthetic(gen, kN);
+    queries_ = GenerateQueries(gen, 32);
+
+    MbiParams p;
+    p.leaf_size = 250;
+    p.build.degree = 12;
+    p.build.exact_threshold = 512;
+    index_ = std::make_unique<MbiIndex>(kDim, Metric::kL2, p);
+    ASSERT_TRUE(
+        index_->AddBatch(data_.vectors.data(), data_.timestamps.data(), kN)
+            .ok());
+  }
+
+  SyntheticData data_;
+  std::vector<float> queries_;
+  std::unique_ptr<MbiIndex> index_;
+};
+
+TEST_F(ConcurrencyFixture, ParallelReadersMatchSerialResults) {
+  SearchParams sp;
+  sp.k = 10;
+  sp.max_candidates = 64;
+  sp.num_entry_points = 4;
+  const TimeWindow w{200, 1700};
+
+  // Serial reference with a fixed per-query seed.
+  std::vector<SearchResult> expected(32);
+  for (size_t qi = 0; qi < 32; ++qi) {
+    QueryContext ctx(1000 + qi);
+    expected[qi] = index_->Search(queries_.data() + qi * kDim, w, sp, &ctx);
+  }
+
+  // 4 threads, each re-running a disjoint slice with the same seeds.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t qi = t; qi < 32; qi += 4) {
+        QueryContext ctx(1000 + qi);
+        SearchResult got =
+            index_->Search(queries_.data() + qi * kDim, w, sp, &ctx);
+        if (got != expected[qi]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrencyFixture, HammeringManyWindowsConcurrently) {
+  SearchParams sp;
+  sp.k = 5;
+  sp.max_candidates = 48;
+  std::atomic<size_t> total_results{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      QueryContext ctx(t * 7 + 1);
+      Rng rng(t);
+      for (int i = 0; i < 200; ++i) {
+        int64_t a = static_cast<int64_t>(rng.NextBounded(kN - 10));
+        int64_t b = a + 1 + static_cast<int64_t>(rng.NextBounded(kN - a - 1));
+        SearchResult r = index_->Search(
+            queries_.data() + (i % 32) * kDim, TimeWindow{a, b}, sp, &ctx);
+        total_results.fetch_add(r.size());
+        // Every hit must respect its window.
+        for (const Neighbor& nb : r) {
+          Timestamp ts = index_->store().GetTimestamp(nb.id);
+          if (ts < a || ts >= b) {
+            total_results.fetch_add(1000000);  // poison on violation
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(total_results.load(), 0u);
+  EXPECT_LT(total_results.load(), 1000000u);
+}
+
+TEST_F(ConcurrencyFixture, SfConcurrentReaders) {
+  GraphBuildParams build;
+  build.degree = 12;
+  SfIndex sf(kDim, Metric::kL2, build);
+  ASSERT_TRUE(
+      sf.AddBatch(data_.vectors.data(), data_.timestamps.data(), kN).ok());
+  sf.Build();
+
+  SearchParams sp;
+  sp.k = 5;
+  sp.max_candidates = 48;
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      QueryContext ctx(t);
+      for (int i = 0; i < 100; ++i) {
+        SearchResult r = sf.Search(queries_.data() + (i % 32) * kDim,
+                                   TimeWindow{100, 1900}, sp, &ctx);
+        for (const Neighbor& nb : r) {
+          Timestamp ts = sf.store().GetTimestamp(nb.id);
+          if (ts < 100 || ts >= 1900) violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace mbi

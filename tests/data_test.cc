@@ -1,0 +1,212 @@
+// Data substrate: synthetic generation, dataset registry, fvecs IO.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "data/dataset.h"
+#include "data/fvecs.h"
+#include "data/synthetic.h"
+
+namespace mbi {
+namespace {
+
+TEST(SyntheticTest, ShapesAndVirtualTimestamps) {
+  SyntheticParams p;
+  p.dim = 12;
+  SyntheticData d = GenerateSynthetic(p, 100);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.dim, 12u);
+  EXPECT_EQ(d.vectors.size(), 1200u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.timestamps[i], static_cast<Timestamp>(i));
+  }
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticParams p;
+  p.dim = 8;
+  p.seed = 5;
+  SyntheticData a = GenerateSynthetic(p, 50);
+  SyntheticData b = GenerateSynthetic(p, 50);
+  EXPECT_EQ(a.vectors, b.vectors);
+  p.seed = 6;
+  SyntheticData c = GenerateSynthetic(p, 50);
+  EXPECT_NE(a.vectors, c.vectors);
+}
+
+TEST(SyntheticTest, NormalizeProducesUnitVectors) {
+  SyntheticParams p;
+  p.dim = 16;
+  p.normalize = true;
+  SyntheticData d = GenerateSynthetic(p, 40);
+  for (size_t i = 0; i < 40; ++i) {
+    double norm = 0;
+    for (size_t j = 0; j < 16; ++j) {
+      norm += static_cast<double>(d.vector(i)[j]) * d.vector(i)[j];
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+TEST(SyntheticTest, TimeDriftCreatesTemporalLocality) {
+  // With strong drift, vectors close in time should be closer on average
+  // than vectors far apart in time.
+  SyntheticParams p;
+  p.dim = 16;
+  p.time_drift = 0.9;
+  p.num_clusters = 16;
+  p.seed = 4;
+  SyntheticData d = GenerateSynthetic(p, 2000);
+  DistanceFunction dist(Metric::kL2, 16);
+  double near = 0, far = 0;
+  int count = 0;
+  for (size_t i = 0; i < 900; i += 10) {
+    near += dist(d.vector(i), d.vector(i + 30));
+    far += dist(d.vector(i), d.vector(i + 1000));
+    ++count;
+  }
+  EXPECT_LT(near / count, far / count);
+}
+
+TEST(SyntheticTest, ZeroDriftIsTimeInvariant) {
+  SyntheticParams p;
+  p.dim = 8;
+  p.time_drift = 0.0;
+  SyntheticData d = GenerateSynthetic(p, 100);
+  EXPECT_EQ(d.size(), 100u);  // just exercises the uniform-cluster path
+}
+
+TEST(SyntheticTest, QueriesShareDistributionButNotValues) {
+  SyntheticParams p;
+  p.dim = 8;
+  p.seed = 10;
+  SyntheticData train = GenerateSynthetic(p, 200);
+  auto queries = GenerateQueries(p, 50);
+  ASSERT_EQ(queries.size(), 400u);
+  // No query should coincide exactly with a train vector.
+  for (size_t q = 0; q < 50; ++q) {
+    for (size_t i = 0; i < 200; ++i) {
+      bool same = true;
+      for (size_t j = 0; j < 8; ++j) {
+        if (queries[q * 8 + j] != train.vector(i)[j]) {
+          same = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(same);
+    }
+  }
+}
+
+TEST(DatasetRegistryTest, HasSixPaperDatasets) {
+  auto specs = DatasetRegistry();
+  ASSERT_EQ(specs.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_TRUE(names.count("movielens-sim"));
+  EXPECT_TRUE(names.count("coms-sim"));
+  EXPECT_TRUE(names.count("glove-sim"));
+  EXPECT_TRUE(names.count("sift-sim"));
+  EXPECT_TRUE(names.count("gist-sim"));
+  EXPECT_TRUE(names.count("deep-sim"));
+}
+
+TEST(DatasetRegistryTest, DimensionsAndMetricsMatchPaperTable2) {
+  EXPECT_EQ(FindDatasetSpec("movielens-sim").gen.dim, 32u);
+  EXPECT_EQ(FindDatasetSpec("movielens-sim").metric, Metric::kAngular);
+  EXPECT_EQ(FindDatasetSpec("coms-sim").gen.dim, 128u);
+  EXPECT_EQ(FindDatasetSpec("glove-sim").gen.dim, 100u);
+  EXPECT_EQ(FindDatasetSpec("sift-sim").gen.dim, 128u);
+  EXPECT_EQ(FindDatasetSpec("sift-sim").metric, Metric::kL2);
+  EXPECT_EQ(FindDatasetSpec("gist-sim").gen.dim, 960u);
+  EXPECT_EQ(FindDatasetSpec("gist-sim").metric, Metric::kL2);
+  EXPECT_EQ(FindDatasetSpec("deep-sim").gen.dim, 96u);
+  EXPECT_EQ(FindDatasetSpec("deep-sim").metric, Metric::kAngular);
+}
+
+TEST(DatasetRegistryTest, MakeDatasetScales) {
+  auto spec = FindDatasetSpec("movielens-sim");
+  BenchDataset quarter = MakeDataset(spec, 0.25);
+  BenchDataset half = MakeDataset(spec, 0.5);
+  EXPECT_NEAR(static_cast<double>(half.size()) / quarter.size(), 2.0, 0.05);
+  EXPECT_EQ(quarter.dim, 32u);
+  EXPECT_EQ(quarter.num_test, spec.num_test);
+  EXPECT_GT(quarter.leaf_size, 0);
+  EXPECT_EQ(quarter.test.size(), spec.num_test * 32);
+}
+
+TEST(DatasetRegistryTest, DatasetIsDeterministic) {
+  auto spec = FindDatasetSpec("sift-sim");
+  BenchDataset a = MakeDataset(spec, 0.1);
+  BenchDataset b = MakeDataset(spec, 0.1);
+  EXPECT_EQ(a.train.vectors, b.train.vectors);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(FvecsTest, RoundTrip) {
+  std::string path = ::testing::TempDir() + "/test.fvecs";
+  std::vector<float> data = {1, 2, 3, 4, 5, 6};
+  ASSERT_TRUE(WriteFvecs(path, data.data(), 2, 3).ok());
+  auto loaded = ReadFvecs(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().dim, 3u);
+  EXPECT_EQ(loaded.value().count, 2u);
+  EXPECT_EQ(loaded.value().values, data);
+  std::remove(path.c_str());
+}
+
+TEST(FvecsTest, MaxCountLimitsRead) {
+  std::string path = ::testing::TempDir() + "/test_cap.fvecs";
+  std::vector<float> data(10 * 4, 1.5f);
+  ASSERT_TRUE(WriteFvecs(path, data.data(), 10, 4).ok());
+  auto loaded = ReadFvecs(path, 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().count, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(FvecsTest, MissingFileFails) {
+  EXPECT_FALSE(ReadFvecs("/no/such/file.fvecs").ok());
+}
+
+TEST(FvecsTest, TruncatedRecordFails) {
+  std::string path = ::testing::TempDir() + "/bad.fvecs";
+  FILE* f = fopen(path.c_str(), "wb");
+  int32_t dim = 100;  // claims 100 floats but provides none
+  fwrite(&dim, sizeof(dim), 1, f);
+  fclose(f);
+  EXPECT_FALSE(ReadFvecs(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FvecsTest, NegativeDimensionFails) {
+  std::string path = ::testing::TempDir() + "/neg.fvecs";
+  FILE* f = fopen(path.c_str(), "wb");
+  int32_t dim = -5;
+  fwrite(&dim, sizeof(dim), 1, f);
+  fclose(f);
+  EXPECT_FALSE(ReadFvecs(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FvecsTest, IvecsReadsIntegers) {
+  std::string path = ::testing::TempDir() + "/test.ivecs";
+  FILE* f = fopen(path.c_str(), "wb");
+  int32_t dim = 2;
+  int32_t vals[2] = {7, -3};
+  fwrite(&dim, sizeof(dim), 1, f);
+  fwrite(vals, sizeof(int32_t), 2, f);
+  fclose(f);
+  auto loaded = ReadIvecsAsFloat(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FLOAT_EQ(loaded.value().values[0], 7.0f);
+  EXPECT_FLOAT_EQ(loaded.value().values[1], -3.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mbi

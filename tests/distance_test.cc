@@ -1,0 +1,166 @@
+// Distance kernels: checked against naive references over many dimensions
+// (the kernels use unrolled multi-accumulator loops, so off-by-one at tail
+// handling is the risk).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "util/rng.h"
+
+namespace mbi {
+namespace {
+
+std::vector<float> RandomVec(Rng* rng, size_t dim, float lo = -1, float hi = 1) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = lo + (hi - lo) * rng->NextFloat();
+  return v;
+}
+
+double NaiveL2(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double NaiveDot(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+double NaiveAngular(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = NaiveDot(a, b);
+  double na = std::sqrt(NaiveDot(a, a));
+  double nb = std::sqrt(NaiveDot(b, b));
+  if (na * nb <= 0) return 1.0;
+  return 1.0 - dot / (na * nb);
+}
+
+class DistanceDimTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DistanceDimTest, L2MatchesNaive) {
+  const size_t dim = GetParam();
+  Rng rng(dim * 31 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = RandomVec(&rng, dim);
+    auto b = RandomVec(&rng, dim);
+    EXPECT_NEAR(L2SquaredDistance(a.data(), b.data(), dim), NaiveL2(a, b),
+                1e-3 * (1.0 + NaiveL2(a, b)));
+  }
+}
+
+TEST_P(DistanceDimTest, AngularMatchesNaive) {
+  const size_t dim = GetParam();
+  Rng rng(dim * 17 + 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = RandomVec(&rng, dim);
+    auto b = RandomVec(&rng, dim);
+    EXPECT_NEAR(AngularDistance(a.data(), b.data(), dim), NaiveAngular(a, b),
+                1e-3);
+  }
+}
+
+TEST_P(DistanceDimTest, InnerProductMatchesNaive) {
+  const size_t dim = GetParam();
+  Rng rng(dim * 13 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = RandomVec(&rng, dim);
+    auto b = RandomVec(&rng, dim);
+    EXPECT_NEAR(NegativeInnerProduct(a.data(), b.data(), dim), -NaiveDot(a, b),
+                1e-3 * (1.0 + std::abs(NaiveDot(a, b))));
+  }
+}
+
+// Tail handling: every residue class of the unroll factors.
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceDimTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 31, 32, 33, 96, 100, 128, 129,
+                                           960));
+
+TEST(DistanceTest, L2SelfDistanceIsZero) {
+  Rng rng(77);
+  auto a = RandomVec(&rng, 64);
+  EXPECT_FLOAT_EQ(L2SquaredDistance(a.data(), a.data(), 64), 0.0f);
+}
+
+TEST(DistanceTest, L2IsSymmetric) {
+  Rng rng(78);
+  auto a = RandomVec(&rng, 33);
+  auto b = RandomVec(&rng, 33);
+  EXPECT_FLOAT_EQ(L2SquaredDistance(a.data(), b.data(), 33),
+                  L2SquaredDistance(b.data(), a.data(), 33));
+}
+
+TEST(DistanceTest, AngularSelfDistanceNearZero) {
+  Rng rng(79);
+  auto a = RandomVec(&rng, 50);
+  EXPECT_NEAR(AngularDistance(a.data(), a.data(), 50), 0.0f, 1e-5);
+}
+
+TEST(DistanceTest, AngularOppositeVectorsIsTwo) {
+  std::vector<float> a = {1, 0, 0};
+  std::vector<float> b = {-1, 0, 0};
+  EXPECT_NEAR(AngularDistance(a.data(), b.data(), 3), 2.0f, 1e-6);
+}
+
+TEST(DistanceTest, AngularOrthogonalIsOne) {
+  std::vector<float> a = {1, 0};
+  std::vector<float> b = {0, 1};
+  EXPECT_NEAR(AngularDistance(a.data(), b.data(), 2), 1.0f, 1e-6);
+}
+
+TEST(DistanceTest, AngularZeroVectorReturnsOne) {
+  std::vector<float> a = {0, 0, 0};
+  std::vector<float> b = {1, 2, 3};
+  EXPECT_FLOAT_EQ(AngularDistance(a.data(), b.data(), 3), 1.0f);
+}
+
+TEST(DistanceTest, AngularScaleInvariant) {
+  Rng rng(80);
+  auto a = RandomVec(&rng, 20);
+  auto b = RandomVec(&rng, 20);
+  std::vector<float> b2(20);
+  for (size_t i = 0; i < 20; ++i) b2[i] = 5.0f * b[i];
+  EXPECT_NEAR(AngularDistance(a.data(), b.data(), 20),
+              AngularDistance(a.data(), b2.data(), 20), 1e-4);
+}
+
+TEST(DistanceFunctionTest, DispatchesAllMetrics) {
+  Rng rng(81);
+  auto a = RandomVec(&rng, 24);
+  auto b = RandomVec(&rng, 24);
+  DistanceFunction l2(Metric::kL2, 24);
+  DistanceFunction ang(Metric::kAngular, 24);
+  DistanceFunction ip(Metric::kInnerProduct, 24);
+  EXPECT_FLOAT_EQ(l2(a.data(), b.data()),
+                  L2SquaredDistance(a.data(), b.data(), 24));
+  EXPECT_FLOAT_EQ(ang(a.data(), b.data()),
+                  AngularDistance(a.data(), b.data(), 24));
+  EXPECT_FLOAT_EQ(ip(a.data(), b.data()),
+                  NegativeInnerProduct(a.data(), b.data(), 24));
+  EXPECT_EQ(l2.metric(), Metric::kL2);
+  EXPECT_EQ(l2.dim(), 24u);
+}
+
+TEST(MetricTest, ParseAndName) {
+  Metric m;
+  EXPECT_TRUE(ParseMetric("l2", &m));
+  EXPECT_EQ(m, Metric::kL2);
+  EXPECT_TRUE(ParseMetric("angular", &m));
+  EXPECT_EQ(m, Metric::kAngular);
+  EXPECT_TRUE(ParseMetric("ip", &m));
+  EXPECT_EQ(m, Metric::kInnerProduct);
+  EXPECT_FALSE(ParseMetric("cosine", &m));
+  EXPECT_STREQ(MetricName(Metric::kL2), "l2");
+  EXPECT_STREQ(MetricName(Metric::kAngular), "angular");
+  EXPECT_STREQ(MetricName(Metric::kInnerProduct), "ip");
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,203 @@
+// Evaluation utilities: recall math, workload generation, Pareto logic,
+// ground-truth computation.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bsbf.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/pareto.h"
+#include "eval/recall.h"
+#include "eval/workload.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+namespace {
+
+SearchResult R(std::initializer_list<VectorId> ids) {
+  SearchResult out;
+  float d = 0;
+  for (VectorId id : ids) out.push_back({d += 1.0f, id});
+  return out;
+}
+
+// ------------------------------------------------------------- recall
+
+TEST(RecallTest, PerfectMatch) {
+  EXPECT_DOUBLE_EQ(RecallAtK(R({1, 2, 3}), R({1, 2, 3}), 3), 1.0);
+}
+
+TEST(RecallTest, OrderIrrelevant) {
+  EXPECT_DOUBLE_EQ(RecallAtK(R({3, 1, 2}), R({1, 2, 3}), 3), 1.0);
+}
+
+TEST(RecallTest, PartialMatch) {
+  EXPECT_DOUBLE_EQ(RecallAtK(R({1, 2, 9}), R({1, 2, 3}), 3), 2.0 / 3.0);
+}
+
+TEST(RecallTest, NoMatch) {
+  EXPECT_DOUBLE_EQ(RecallAtK(R({7, 8, 9}), R({1, 2, 3}), 3), 0.0);
+}
+
+TEST(RecallTest, EmptyTruthIsPerfect) {
+  EXPECT_DOUBLE_EQ(RecallAtK(R({}), R({}), 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(R({1}), R({}), 5), 1.0);
+}
+
+TEST(RecallTest, TruthSmallerThanKUsesTruthSize) {
+  // Window held only 2 vectors; finding both = recall 1.
+  EXPECT_DOUBLE_EQ(RecallAtK(R({1, 2}), R({1, 2}), 10), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(R({1}), R({1, 2}), 10), 0.5);
+}
+
+TEST(RecallTest, ApproxShorterThanK) {
+  EXPECT_DOUBLE_EQ(RecallAtK(R({1}), R({1, 2, 3}), 3), 1.0 / 3.0);
+}
+
+TEST(RecallTest, OnlyFirstKOfApproxCount) {
+  // k = 2: the third approx entry must not contribute.
+  EXPECT_DOUBLE_EQ(RecallAtK(R({9, 1, 2}), R({1, 2}), 2), 0.5);
+}
+
+TEST(RecallTest, MeanRecall) {
+  std::vector<SearchResult> approx = {R({1, 2}), R({1, 9})};
+  std::vector<SearchResult> exact = {R({1, 2}), R({1, 2})};
+  EXPECT_DOUBLE_EQ(MeanRecall(approx, exact, 2), 0.75);
+}
+
+// ------------------------------------------------------------- workload
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticParams gen;
+    gen.dim = 4;
+    gen.seed = 3;
+    data_ = GenerateSynthetic(gen, 1000);
+    store_ = std::make_unique<VectorStore>(4, Metric::kL2);
+    ASSERT_TRUE(store_
+                    ->AppendBatch(data_.vectors.data(),
+                                  data_.timestamps.data(), 1000)
+                    .ok());
+  }
+  SyntheticData data_;
+  std::unique_ptr<VectorStore> store_;
+};
+
+TEST_F(WorkloadFixture, WindowsHaveRequestedFraction) {
+  for (double f : {0.01, 0.1, 0.5, 0.95, 1.0}) {
+    auto wl = MakeWindowWorkload(*store_, f, 50, 10, 1);
+    ASSERT_EQ(wl.size(), 50u);
+    for (const auto& wq : wl) {
+      EXPECT_NEAR(static_cast<double>(wq.window_count) / 1000.0, f, 0.002)
+          << "fraction " << f;
+      EXPECT_LT(wq.query_index, 10u);
+    }
+  }
+}
+
+TEST_F(WorkloadFixture, DeterministicInSeed) {
+  auto a = MakeWindowWorkload(*store_, 0.3, 20, 5, 42);
+  auto b = MakeWindowWorkload(*store_, 0.3, 20, 5, 42);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].window, b[i].window);
+    EXPECT_EQ(a[i].query_index, b[i].query_index);
+  }
+}
+
+TEST_F(WorkloadFixture, DifferentSeedsDiffer) {
+  auto a = MakeWindowWorkload(*store_, 0.3, 20, 5, 1);
+  auto b = MakeWindowWorkload(*store_, 0.3, 20, 5, 2);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].window == b[i].window) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST_F(WorkloadFixture, QueryIndicesCycle) {
+  auto wl = MakeWindowWorkload(*store_, 0.5, 10, 3, 9);
+  for (size_t i = 0; i < wl.size(); ++i) {
+    EXPECT_EQ(wl[i].query_index, i % 3);
+  }
+}
+
+// ------------------------------------------------------------- ground truth
+
+TEST_F(WorkloadFixture, GroundTruthMatchesBsbfAndParallelMatchesSerial) {
+  auto queries = GenerateQueries({.dim = 4, .seed = 3}, 10);
+  auto wl = MakeWindowWorkload(*store_, 0.4, 30, 10, 77);
+  auto serial = ComputeGroundTruth(*store_, queries.data(), wl, 5);
+  ThreadPool pool(4);
+  auto parallel = ComputeGroundTruth(*store_, queries.data(), wl, 5, &pool);
+  ASSERT_EQ(serial.size(), wl.size());
+  for (size_t i = 0; i < wl.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]);
+    SearchResult direct = BsbfIndex::Query(
+        *store_, queries.data() + wl[i].query_index * 4, 5, wl[i].window);
+    EXPECT_EQ(serial[i], direct);
+  }
+}
+
+// ------------------------------------------------------------- pareto
+
+TEST(ParetoTest, DefaultGridMatchesPaper) {
+  auto grid = DefaultEpsilonGrid();
+  ASSERT_EQ(grid.size(), 21u);
+  EXPECT_FLOAT_EQ(grid.front(), 1.0f);
+  EXPECT_FLOAT_EQ(grid.back(), 1.4f);
+  EXPECT_NEAR(grid[1] - grid[0], 0.02f, 1e-6);
+}
+
+TEST(ParetoTest, BestQpsAtRecallPicksFastestQualifying) {
+  std::vector<ParetoPoint> pts = {
+      {1.0f, 0.90, 5000}, {1.1f, 0.995, 3000}, {1.2f, 0.997, 2500},
+      {1.3f, 0.999, 1000}};
+  auto best = BestQpsAtRecall(pts, 0.995);
+  EXPECT_TRUE(best.achieved);
+  EXPECT_DOUBLE_EQ(best.qps, 3000);
+  EXPECT_FLOAT_EQ(best.epsilon, 1.1f);
+}
+
+TEST(ParetoTest, BestQpsFallsBackToHighestRecall) {
+  std::vector<ParetoPoint> pts = {{1.0f, 0.5, 5000}, {1.4f, 0.8, 1000}};
+  auto best = BestQpsAtRecall(pts, 0.995);
+  EXPECT_FALSE(best.achieved);
+  EXPECT_DOUBLE_EQ(best.recall, 0.8);
+}
+
+TEST(ParetoTest, FrontierRemovesDominatedPoints) {
+  std::vector<ParetoPoint> pts = {
+      {1.0f, 0.9, 100}, {1.1f, 0.95, 200},  // dominates the first
+      {1.2f, 0.99, 50}};
+  auto frontier = ParetoFrontier(pts);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_DOUBLE_EQ(frontier[0].recall, 0.95);
+  EXPECT_DOUBLE_EQ(frontier[1].recall, 0.99);
+}
+
+TEST_F(WorkloadFixture, SweepEpsilonMeasuresRecallAndQps) {
+  auto queries = GenerateQueries({.dim = 4, .seed = 3}, 5);
+  auto wl = MakeWindowWorkload(*store_, 0.5, 10, 5, 7);
+  auto truth = ComputeGroundTruth(*store_, queries.data(), wl, 5);
+
+  // A fake "method": exact at eps >= 1.2, garbage below.
+  auto run = [&](const WindowQuery& wq, float eps) -> SearchResult {
+    if (eps >= 1.2f) {
+      return BsbfIndex::Query(*store_, queries.data() + wq.query_index * 4, 5,
+                              wq.window);
+    }
+    return {};
+  };
+  auto points = SweepEpsilon(wl, truth, 5, {1.0f, 1.2f, 1.4f}, run);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].recall, 0.01);
+  EXPECT_DOUBLE_EQ(points[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(points[2].recall, 1.0);
+  for (const auto& p : points) EXPECT_GT(p.qps, 0.0);
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,237 @@
+// End-to-end integration: streaming ingest + mixed TkNN workloads, comparing
+// MBI, BSBF and SF against exact ground truth — the full pipeline the paper's
+// evaluation (Section 5) exercises.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bsbf.h"
+#include "baseline/sf_index.h"
+#include "data/dataset.h"
+#include "eval/ground_truth.h"
+#include "eval/pareto.h"
+#include "eval/recall.h"
+#include "eval/workload.h"
+#include "mbi/mbi_index.h"
+
+namespace mbi {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static constexpr size_t kN = 3000;
+  static constexpr size_t kDim = 16;
+  static constexpr size_t kNumTest = 20;
+
+  void SetUp() override {
+    SyntheticParams gen;
+    gen.dim = kDim;
+    gen.num_clusters = 16;
+    gen.time_drift = 0.7;
+    gen.seed = 1234;
+    data_ = GenerateSynthetic(gen, kN);
+    queries_ = GenerateQueries(gen, kNumTest);
+
+    MbiParams p;
+    p.leaf_size = 256;
+    p.tau = 0.5;
+    p.build.degree = 16;
+    p.build.exact_threshold = 512;
+    mbi_ = std::make_unique<MbiIndex>(kDim, Metric::kL2, p);
+
+    // Streaming ingest, one vector at a time (the paper's setting).
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_TRUE(mbi_->Add(data_.vector(i), data_.timestamps[i]).ok());
+    }
+
+    bsbf_ = std::make_unique<BsbfIndex>(kDim, Metric::kL2);
+    ASSERT_TRUE(
+        bsbf_->AddBatch(data_.vectors.data(), data_.timestamps.data(), kN)
+            .ok());
+
+    GraphBuildParams build;
+    build.degree = 16;
+    sf_ = std::make_unique<SfIndex>(kDim, Metric::kL2, build);
+    ASSERT_TRUE(
+        sf_->AddBatch(data_.vectors.data(), data_.timestamps.data(), kN).ok());
+    sf_->Build();
+  }
+
+  SearchParams MakeSearchParams() const {
+    SearchParams sp;
+    sp.k = 10;
+    sp.max_candidates = 96;
+    sp.epsilon = 1.25f;
+    sp.num_entry_points = 8;
+    return sp;
+  }
+
+  SyntheticData data_;
+  std::vector<float> queries_;
+  std::unique_ptr<MbiIndex> mbi_;
+  std::unique_ptr<BsbfIndex> bsbf_;
+  std::unique_ptr<SfIndex> sf_;
+};
+
+TEST_F(IntegrationFixture, MbiRecallAcrossWindowFractions) {
+  QueryContext ctx;
+  SearchParams sp = MakeSearchParams();
+  for (double fraction : {0.02, 0.1, 0.3, 0.8, 1.0}) {
+    auto wl = MakeWindowWorkload(mbi_->store(), fraction, 30, kNumTest, 99);
+    auto truth = ComputeGroundTruth(mbi_->store(), queries_.data(), wl, 10);
+    double total = 0;
+    for (size_t i = 0; i < wl.size(); ++i) {
+      SearchResult got = mbi_->Search(queries_.data() + wl[i].query_index * kDim,
+                                      wl[i].window, sp, &ctx);
+      total += RecallAtK(got, truth[i], 10);
+    }
+    EXPECT_GE(total / wl.size(), 0.85) << "fraction " << fraction;
+  }
+}
+
+TEST_F(IntegrationFixture, SfRecallDegradesGracefullyOnShortWindows) {
+  // SF still returns in-window results on short windows (just slowly).
+  QueryContext ctx;
+  SearchParams sp = MakeSearchParams();
+  auto wl = MakeWindowWorkload(sf_->store(), 0.02, 20, kNumTest, 7);
+  for (const auto& wq : wl) {
+    SearchResult got =
+        sf_->Search(queries_.data() + wq.query_index * kDim, wq.window, sp,
+                    &ctx);
+    for (const Neighbor& nb : got) {
+      EXPECT_TRUE(wq.window.Contains(sf_->store().GetTimestamp(nb.id)));
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, MbiSearchesFewBlocksWithTauHalf) {
+  // Lemma 4.1 end-to-end: tau <= 0.5 on a *complete* tree -> at most 2
+  // blocks per query. Build a perfect 8-leaf index (2048 = 8 * 256).
+  MbiParams p;
+  p.leaf_size = 256;
+  p.tau = 0.5;
+  p.build.degree = 16;
+  p.build.exact_threshold = 512;
+  MbiIndex perfect(kDim, Metric::kL2, p);
+  ASSERT_TRUE(perfect
+                  .AddBatch(data_.vectors.data(), data_.timestamps.data(),
+                            2048)
+                  .ok());
+  ASSERT_FALSE(perfect.shape().has_partial_leaf());
+
+  QueryContext ctx;
+  SearchParams sp = MakeSearchParams();
+  auto wl = MakeWindowWorkload(perfect.store(), 0.25, 50, kNumTest, 17);
+  for (const auto& wq : wl) {
+    MbiQueryStats stats;
+    perfect.Search(queries_.data() + wq.query_index * kDim, wq.window, sp,
+                   &ctx, &stats);
+    EXPECT_LE(stats.blocks_searched, 2u);
+  }
+  // The incomplete 3000-vector tree may legitimately use a few more blocks
+  // (virtual nodes always recurse), but stays small.
+  auto wl2 = MakeWindowWorkload(mbi_->store(), 0.25, 50, kNumTest, 18);
+  for (const auto& wq : wl2) {
+    MbiQueryStats stats;
+    mbi_->Search(queries_.data() + wq.query_index * kDim, wq.window, sp, &ctx,
+                 &stats);
+    EXPECT_LE(stats.blocks_searched, 5u);
+  }
+}
+
+TEST_F(IntegrationFixture, AllMethodsAgreeOnEasyQueries) {
+  // For a query vector identical to a stored vector, every method must rank
+  // that vector first within a window containing it.
+  QueryContext ctx;
+  SearchParams sp = MakeSearchParams();
+  for (VectorId id : {100, 1500, 2900}) {
+    const float* q = data_.vector(static_cast<size_t>(id));
+    TimeWindow w{id - 50, id + 50};
+    SearchResult m = mbi_->Search(q, w, sp, &ctx);
+    SearchResult b = bsbf_->Search(q, 10, w);
+    SearchResult s = sf_->Search(q, w, sp, &ctx);
+    ASSERT_FALSE(m.empty());
+    ASSERT_FALSE(b.empty());
+    ASSERT_FALSE(s.empty());
+    // BSBF is exact; MBI scans this tiny window exactly or with a graph
+    // whose slice contains the duplicate vector.
+    EXPECT_EQ(b[0].id, id);
+    EXPECT_EQ(m[0].id, id);
+    // SF traverses a *directed* kNN graph, so the exact duplicate can be
+    // unreachable; require it to land among the true top results instead.
+    EXPECT_LE(s[0].distance, b[std::min<size_t>(2, b.size() - 1)].distance);
+  }
+}
+
+TEST_F(IntegrationFixture, ContinuedIngestKeepsIndexConsistent) {
+  // Add more data after querying; structure invariants must continue to
+  // hold and new vectors must be findable.
+  SyntheticParams gen;
+  gen.dim = kDim;
+  gen.seed = 4321;
+  SyntheticData extra = GenerateSynthetic(gen, 500);
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        mbi_->Add(extra.vector(i), static_cast<Timestamp>(kN + i)).ok());
+  }
+  EXPECT_EQ(mbi_->size(), kN + 500);
+  EXPECT_EQ(static_cast<int64_t>(mbi_->num_blocks()),
+            mbi_->shape().NumFullBlocks());
+
+  QueryContext ctx;
+  SearchParams sp = MakeSearchParams();
+  TimeWindow w{static_cast<Timestamp>(kN), static_cast<Timestamp>(kN + 500)};
+  SearchResult got = mbi_->Search(extra.vector(100), w, sp, &ctx);
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got[0].id, static_cast<VectorId>(kN + 100));
+}
+
+TEST_F(IntegrationFixture, EpsilonSweepTradesSpeedForRecall) {
+  QueryContext ctx;
+  auto wl = MakeWindowWorkload(mbi_->store(), 0.5, 20, kNumTest, 3);
+  auto truth = ComputeGroundTruth(mbi_->store(), queries_.data(), wl, 10);
+  auto run = [&](const WindowQuery& wq, float eps) {
+    SearchParams sp = MakeSearchParams();
+    sp.epsilon = eps;
+    return mbi_->Search(queries_.data() + wq.query_index * kDim, wq.window, sp,
+                        &ctx);
+  };
+  auto points = SweepEpsilon(wl, truth, 10, {1.0f, 1.2f, 1.4f}, run);
+  ASSERT_EQ(points.size(), 3u);
+  // Wider range factor must not lose much recall (usually gains).
+  EXPECT_GE(points[2].recall + 0.02, points[0].recall);
+}
+
+TEST(RegistryIntegrationTest, TinyScaleDatasetEndToEnd) {
+  // Run one registry dataset at very small scale through the whole
+  // pipeline, as the benches do.
+  BenchDataset ds = MakeDataset(FindDatasetSpec("movielens-sim"), 0.05);
+  MbiParams p;
+  p.leaf_size = ds.leaf_size;
+  p.tau = ds.tau;
+  p.build = ds.build;
+  MbiIndex index(ds.dim, ds.metric, p);
+  ASSERT_TRUE(index
+                  .AddBatch(ds.train.vectors.data(),
+                            ds.train.timestamps.data(), ds.size())
+                  .ok());
+  QueryContext ctx;
+  SearchParams sp = ds.search;
+  sp.k = 5;
+  sp.epsilon = 1.3f;
+
+  auto wl = MakeWindowWorkload(index.store(), 0.4, 10, ds.num_test, 5);
+  auto truth = ComputeGroundTruth(index.store(), ds.test.data(), wl, 5);
+  double total = 0;
+  for (size_t i = 0; i < wl.size(); ++i) {
+    total += RecallAtK(index.Search(ds.test_query(wl[i].query_index),
+                                    wl[i].window, sp, &ctx),
+                       truth[i], 5);
+  }
+  EXPECT_GE(total / wl.size(), 0.8);
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,94 @@
+// KnnGraph container behavior and serialization.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/knn_graph.h"
+#include "util/io.h"
+
+namespace mbi {
+namespace {
+
+TEST(KnnGraphTest, InitializedToInvalid) {
+  KnnGraph g(4, 3);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.degree(), 3u);
+  for (NodeId v = 0; v < 4; ++v) {
+    for (NodeId nb : g.Neighbors(v)) EXPECT_EQ(nb, kInvalidNode);
+    EXPECT_EQ(g.NeighborCount(v), 0u);
+  }
+}
+
+TEST(KnnGraphTest, MutableNeighborsWriteThrough) {
+  KnnGraph g(3, 2);
+  auto nb = g.MutableNeighbors(1);
+  nb[0] = 2;
+  EXPECT_EQ(g.Neighbors(1)[0], 2u);
+  EXPECT_EQ(g.NeighborCount(1), 1u);
+  EXPECT_EQ(g.NeighborCount(0), 0u);
+}
+
+TEST(KnnGraphTest, AverageDegree) {
+  KnnGraph g(2, 4);
+  g.MutableNeighbors(0)[0] = 1;
+  g.MutableNeighbors(0)[1] = 1;
+  g.MutableNeighbors(1)[0] = 0;
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.5);
+}
+
+TEST(KnnGraphTest, MemoryBytes) {
+  KnnGraph g(10, 8);
+  EXPECT_EQ(g.MemoryBytes(), 10 * 8 * sizeof(NodeId));
+}
+
+TEST(KnnGraphTest, EmptyGraph) {
+  KnnGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.MemoryBytes(), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(KnnGraphTest, SaveLoadRoundTrip) {
+  KnnGraph g(3, 2);
+  g.MutableNeighbors(0)[0] = 1;
+  g.MutableNeighbors(1)[0] = 2;
+  g.MutableNeighbors(2)[0] = 0;
+  g.MutableNeighbors(2)[1] = 1;
+
+  std::string path = ::testing::TempDir() + "/knn_graph_test.bin";
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(g.Save(&w).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  KnnGraph loaded;
+  {
+    BinaryReader r;
+    ASSERT_TRUE(r.Open(path).ok());
+    ASSERT_TRUE(loaded.Load(&r).ok());
+  }
+  EXPECT_TRUE(g == loaded);
+  std::remove(path.c_str());
+}
+
+TEST(KnnGraphTest, LoadDetectsCorruptSize) {
+  std::string path = ::testing::TempDir() + "/knn_graph_corrupt.bin";
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Write<uint64_t>(5).ok());  // n = 5
+    ASSERT_TRUE(w.Write<uint64_t>(2).ok());  // degree = 2
+    ASSERT_TRUE(w.WriteVector<NodeId>({1, 2, 3}).ok());  // wrong size
+    ASSERT_TRUE(w.Close().ok());
+  }
+  KnnGraph g;
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(path).ok());
+  EXPECT_FALSE(g.Load(&r).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mbi

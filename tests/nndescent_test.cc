@@ -1,0 +1,147 @@
+// NNDescent: graph quality vs. the exact kNN graph, determinism, edge cases.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "data/synthetic.h"
+#include "graph/exact_builder.h"
+#include "graph/nndescent.h"
+#include "util/thread_pool.h"
+
+namespace mbi {
+namespace {
+
+// Fraction of exact kNN edges recovered by the approximate graph.
+double GraphRecall(const KnnGraph& approx, const KnnGraph& exact) {
+  size_t hits = 0, total = 0;
+  for (NodeId v = 0; v < exact.num_nodes(); ++v) {
+    auto a = approx.Neighbors(v);
+    for (NodeId truth : exact.Neighbors(v)) {
+      if (truth == kInvalidNode) continue;
+      ++total;
+      if (std::find(a.begin(), a.end(), truth) != a.end()) ++hits;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(hits) / total;
+}
+
+struct NndCase {
+  size_t n;
+  size_t dim;
+  Metric metric;
+  size_t degree;
+  double min_recall;
+};
+
+class NnDescentQualityTest : public ::testing::TestWithParam<NndCase> {};
+
+TEST_P(NnDescentQualityTest, RecoversMostExactEdges) {
+  const NndCase c = GetParam();
+  SyntheticParams gen;
+  gen.dim = c.dim;
+  gen.num_clusters = 8;
+  gen.seed = c.n * 7 + c.dim;
+  gen.normalize = c.metric == Metric::kAngular;
+  SyntheticData data = GenerateSynthetic(gen, c.n);
+
+  DistanceFunction dist(c.metric, c.dim);
+  GraphBuildParams params;
+  params.degree = c.degree;
+  params.max_iterations = 15;
+
+  KnnGraph approx =
+      BuildNnDescentGraph(data.vectors.data(), c.n, dist, params);
+  KnnGraph exact = BuildExactKnnGraph(data.vectors.data(), c.n, dist, c.degree);
+  double recall = GraphRecall(approx, exact);
+  EXPECT_GE(recall, c.min_recall)
+      << "n=" << c.n << " dim=" << c.dim << " degree=" << c.degree;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, NnDescentQualityTest,
+    ::testing::Values(NndCase{500, 8, Metric::kL2, 10, 0.85},
+                      NndCase{1000, 16, Metric::kL2, 16, 0.85},
+                      NndCase{2000, 16, Metric::kL2, 16, 0.85},
+                      NndCase{1000, 16, Metric::kAngular, 16, 0.80},
+                      NndCase{1000, 32, Metric::kL2, 24, 0.80}));
+
+TEST(NnDescentTest, DeterministicForSameSeed) {
+  SyntheticParams gen;
+  gen.dim = 8;
+  gen.seed = 5;
+  SyntheticData data = GenerateSynthetic(gen, 400);
+  DistanceFunction dist(Metric::kL2, 8);
+  GraphBuildParams params;
+  params.degree = 8;
+  KnnGraph a = BuildNnDescentGraph(data.vectors.data(), 400, dist, params);
+  KnnGraph b = BuildNnDescentGraph(data.vectors.data(), 400, dist, params);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(NnDescentTest, TinyInputsFallBackToExact) {
+  SyntheticParams gen;
+  gen.dim = 4;
+  SyntheticData data = GenerateSynthetic(gen, 5);
+  DistanceFunction dist(Metric::kL2, 4);
+  GraphBuildParams params;
+  params.degree = 8;  // > n - 1
+  KnnGraph g = BuildNnDescentGraph(data.vectors.data(), 5, dist, params);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.NeighborCount(v), 4u);
+}
+
+TEST(NnDescentTest, NoSelfLoopsOrDuplicates) {
+  SyntheticParams gen;
+  gen.dim = 8;
+  gen.seed = 17;
+  SyntheticData data = GenerateSynthetic(gen, 600);
+  DistanceFunction dist(Metric::kL2, 8);
+  GraphBuildParams params;
+  params.degree = 12;
+  KnnGraph g = BuildNnDescentGraph(data.vectors.data(), 600, dist, params);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<NodeId> seen;
+    for (NodeId nb : g.Neighbors(v)) {
+      if (nb == kInvalidNode) continue;
+      EXPECT_NE(nb, v);
+      EXPECT_EQ(std::count(seen.begin(), seen.end(), nb), 0);
+      seen.push_back(nb);
+    }
+    EXPECT_EQ(seen.size(), 12u);  // pools should fill completely
+  }
+}
+
+TEST(NnDescentTest, ParallelBuildProducesValidGraph) {
+  SyntheticParams gen;
+  gen.dim = 8;
+  gen.seed = 23;
+  SyntheticData data = GenerateSynthetic(gen, 800);
+  DistanceFunction dist(Metric::kL2, 8);
+  GraphBuildParams params;
+  params.degree = 12;
+  ThreadPool pool(4);
+  KnnGraph approx =
+      BuildNnDescentGraph(data.vectors.data(), 800, dist, params, &pool);
+  KnnGraph exact = BuildExactKnnGraph(data.vectors.data(), 800, dist, 12);
+  EXPECT_GE(GraphRecall(approx, exact), 0.8);
+}
+
+TEST(BuildKnnGraphTest, DispatchesOnExactThreshold) {
+  SyntheticParams gen;
+  gen.dim = 4;
+  gen.seed = 3;
+  SyntheticData data = GenerateSynthetic(gen, 200);
+  DistanceFunction dist(Metric::kL2, 4);
+  GraphBuildParams params;
+  params.degree = 6;
+  params.exact_threshold = 300;  // n below threshold -> exact
+  KnnGraph via_dispatch = BuildKnnGraph(data.vectors.data(), 200, dist, params);
+  KnnGraph exact = BuildExactKnnGraph(data.vectors.data(), 200, dist, 6);
+  EXPECT_TRUE(via_dispatch == exact);
+}
+
+}  // namespace
+}  // namespace mbi

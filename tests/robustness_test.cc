@@ -1,0 +1,371 @@
+// Robustness and edge-case coverage across modules: duplicate timestamps,
+// degenerate shapes, parameter extremes, and cross-module invariants that
+// the per-module tests do not reach.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bsbf.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "graph/exact_builder.h"
+#include "graph/nndescent.h"
+#include "mbi/mbi_index.h"
+
+namespace mbi {
+namespace {
+
+// ------------------------------------------------- duplicate timestamps
+
+class DuplicateTimestampFixture : public ::testing::Test {
+ protected:
+  static constexpr size_t kN = 240;
+  static constexpr size_t kDim = 8;
+
+  void SetUp() override {
+    SyntheticParams gen;
+    gen.dim = kDim;
+    gen.seed = 5150;
+    data_ = GenerateSynthetic(gen, kN);
+    // Many vectors share a timestamp: batches of 10 arrive "at once".
+    for (size_t i = 0; i < kN; ++i) {
+      data_.timestamps[i] = static_cast<Timestamp>(i / 10);
+    }
+  }
+
+  SyntheticData data_;
+};
+
+TEST_F(DuplicateTimestampFixture, BsbfHandlesDuplicates) {
+  BsbfIndex bsbf(kDim, Metric::kL2);
+  ASSERT_TRUE(
+      bsbf.AddBatch(data_.vectors.data(), data_.timestamps.data(), kN).ok());
+  // Window [3, 5): exactly timestamps 3 and 4 -> ids 30..49.
+  SearchResult r = bsbf.Search(data_.vector(35), 50, TimeWindow{3, 5});
+  ASSERT_EQ(r.size(), 20u);
+  for (const Neighbor& nb : r) {
+    EXPECT_GE(nb.id, 30);
+    EXPECT_LT(nb.id, 50);
+  }
+}
+
+TEST_F(DuplicateTimestampFixture, MbiFlatEqualsBsbfWithDuplicates) {
+  MbiParams p;
+  p.leaf_size = 16;  // leaf boundaries fall inside duplicate runs
+  p.tau = 0.5;
+  p.block_kind = BlockIndexKind::kFlat;
+  MbiIndex index(kDim, Metric::kL2, p);
+  BsbfIndex bsbf(kDim, Metric::kL2);
+  ASSERT_TRUE(
+      index.AddBatch(data_.vectors.data(), data_.timestamps.data(), kN).ok());
+  ASSERT_TRUE(
+      bsbf.AddBatch(data_.vectors.data(), data_.timestamps.data(), kN).ok());
+
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 8;
+  for (Timestamp a = 0; a < 24; a += 3) {
+    for (Timestamp b = a + 1; b <= 24; b += 5) {
+      TimeWindow w{a, b};
+      SearchResult got = index.Search(data_.vector(0), w, sp, &ctx);
+      SearchResult want = bsbf.Search(data_.vector(0), 8, w);
+      ASSERT_EQ(got.size(), want.size()) << "[" << a << "," << b << ")";
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id);
+      }
+    }
+  }
+}
+
+TEST_F(DuplicateTimestampFixture, GraphKindRespectsDuplicateWindows) {
+  MbiParams p;
+  p.leaf_size = 30;
+  p.build.degree = 8;
+  p.build.exact_threshold = 1 << 20;
+  MbiIndex index(kDim, Metric::kL2, p);
+  ASSERT_TRUE(
+      index.AddBatch(data_.vectors.data(), data_.timestamps.data(), kN).ok());
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 10;
+  sp.max_candidates = 48;
+  TimeWindow w{7, 12};
+  SearchResult got = index.Search(data_.vector(0), w, sp, &ctx);
+  for (const Neighbor& nb : got) {
+    Timestamp t = index.store().GetTimestamp(nb.id);
+    EXPECT_GE(t, 7);
+    EXPECT_LT(t, 12);
+  }
+}
+
+// ------------------------------------------------- NNDescent parameters
+
+TEST(NnDescentParamsTest, MoreIterationsNeverHurtMuch) {
+  SyntheticParams gen;
+  gen.dim = 12;
+  gen.seed = 21;
+  SyntheticData data = GenerateSynthetic(gen, 1200);
+  DistanceFunction dist(Metric::kL2, 12);
+  KnnGraph exact = BuildExactKnnGraph(data.vectors.data(), 1200, dist, 12);
+
+  auto edge_recall = [&](const KnnGraph& g) {
+    size_t hits = 0, total = 0;
+    for (NodeId v = 0; v < 1200; ++v) {
+      auto a = g.Neighbors(v);
+      for (NodeId t : exact.Neighbors(v)) {
+        if (t == kInvalidNode) continue;
+        ++total;
+        hits += std::find(a.begin(), a.end(), t) != a.end();
+      }
+    }
+    return static_cast<double>(hits) / total;
+  };
+
+  GraphBuildParams p1;
+  p1.degree = 12;
+  p1.max_iterations = 1;
+  GraphBuildParams p8 = p1;
+  p8.max_iterations = 8;
+  double r1 = edge_recall(BuildNnDescentGraph(data.vectors.data(), 1200, dist, p1));
+  double r8 = edge_recall(BuildNnDescentGraph(data.vectors.data(), 1200, dist, p8));
+  EXPECT_GT(r8, r1);      // iterating improves the graph
+  EXPECT_GE(r8, 0.85);
+}
+
+TEST(NnDescentParamsTest, HigherRhoConvergesFaster) {
+  SyntheticParams gen;
+  gen.dim = 8;
+  gen.seed = 22;
+  SyntheticData data = GenerateSynthetic(gen, 800);
+  DistanceFunction dist(Metric::kL2, 8);
+  GraphBuildParams low;
+  low.degree = 10;
+  low.rho = 0.3;
+  low.max_iterations = 3;
+  GraphBuildParams high = low;
+  high.rho = 1.0;
+  KnnGraph exact = BuildExactKnnGraph(data.vectors.data(), 800, dist, 10);
+  auto edge_recall = [&](const KnnGraph& g) {
+    size_t hits = 0, total = 0;
+    for (NodeId v = 0; v < 800; ++v) {
+      auto a = g.Neighbors(v);
+      for (NodeId t : exact.Neighbors(v)) {
+        if (t == kInvalidNode) continue;
+        ++total;
+        hits += std::find(a.begin(), a.end(), t) != a.end();
+      }
+    }
+    return static_cast<double>(hits) / total;
+  };
+  EXPECT_GE(edge_recall(BuildNnDescentGraph(data.vectors.data(), 800, dist,
+                                            high)) +
+                0.02,
+            edge_recall(BuildNnDescentGraph(data.vectors.data(), 800, dist,
+                                            low)));
+}
+
+// ------------------------------------------------- search parameters
+
+class SearchParamFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticParams gen;
+    gen.dim = 16;
+    gen.seed = 4242;
+    data_ = GenerateSynthetic(gen, 1500);
+    store_ = std::make_unique<VectorStore>(16, Metric::kL2);
+    ASSERT_TRUE(store_
+                    ->AppendBatch(data_.vectors.data(),
+                                  data_.timestamps.data(), 1500)
+                    .ok());
+    graph_ = BuildExactKnnGraph(data_.vectors.data(), 1500, store_->distance(),
+                                16);
+    queries_ = GenerateQueries(gen, 20);
+  }
+
+  double MeanRecallWith(const SearchParams& p) {
+    GraphSearcher searcher;
+    Rng rng(1);
+    double total = 0;
+    for (size_t qi = 0; qi < 20; ++qi) {
+      const float* q = queries_.data() + qi * 16;
+      TopKHeap heap(p.k);
+      searcher.Search(*store_, graph_, IdRange{0, 1500}, q, p, nullptr, &rng,
+                      &heap);
+      total += RecallAtK(heap.ExtractSorted(),
+                         BsbfIndex::Query(*store_, q, p.k, TimeWindow::All()),
+                         p.k);
+    }
+    return total / 20;
+  }
+
+  SyntheticData data_;
+  std::unique_ptr<VectorStore> store_;
+  KnnGraph graph_;
+  std::vector<float> queries_;
+};
+
+TEST_F(SearchParamFixture, LargerCandidatePoolRaisesRecall) {
+  SearchParams small;
+  small.k = 10;
+  small.max_candidates = 12;
+  small.num_entry_points = 4;
+  SearchParams large = small;
+  large.max_candidates = 128;
+  EXPECT_GT(MeanRecallWith(large), MeanRecallWith(small));
+  EXPECT_GE(MeanRecallWith(large), 0.95);
+}
+
+TEST_F(SearchParamFixture, PoolSmallerThanKIsClampedToK) {
+  SearchParams p;
+  p.k = 20;
+  p.max_candidates = 4;  // < k: capacity must clamp up to k
+  p.num_entry_points = 4;
+  GraphSearcher searcher;
+  Rng rng(2);
+  TopKHeap heap(20);
+  searcher.Search(*store_, graph_, IdRange{0, 1500}, queries_.data(), p,
+                  nullptr, &rng, &heap);
+  EXPECT_EQ(heap.size(), 20u);
+}
+
+TEST_F(SearchParamFixture, ManyEntryPointsClampToBlockSize) {
+  SearchParams p;
+  p.k = 5;
+  p.max_candidates = 2000;   // > n
+  p.num_entry_points = 5000;  // > n
+  GraphSearcher searcher;
+  Rng rng(3);
+  TopKHeap heap(5);
+  // Must terminate and return k results despite params exceeding n.
+  searcher.Search(*store_, graph_, IdRange{0, 1500}, queries_.data(), p,
+                  nullptr, &rng, &heap);
+  EXPECT_EQ(heap.size(), 5u);
+}
+
+// ------------------------------------------------- tree partition property
+
+TEST(BlockTreePartitionTest, EachLevelPartitionsTheData) {
+  for (int64_t n : {64, 100, 250, 1023}) {
+    BlockTreeShape shape(n, 16);
+    for (int32_t h = 0; h <= shape.root_height(); ++h) {
+      int64_t covered = 0;
+      for (int64_t pos = 0;; ++pos) {
+        IdRange r = shape.NodeRange({h, pos});
+        if (r.Empty()) break;
+        EXPECT_EQ(r.begin, covered);  // contiguous, gap-free
+        covered = r.end;
+      }
+      EXPECT_EQ(covered, n) << "level " << h << " n " << n;
+    }
+  }
+}
+
+TEST(BlockTreePartitionTest, ParentRangeIsUnionOfChildren) {
+  BlockTreeShape shape(1000, 13);
+  for (int32_t h = 1; h <= shape.root_height(); ++h) {
+    for (int64_t pos = 0; pos < 8; ++pos) {
+      IdRange parent = shape.NodeRange({h, pos});
+      IdRange left = shape.NodeRange({h - 1, 2 * pos});
+      IdRange right = shape.NodeRange({h - 1, 2 * pos + 1});
+      if (parent.Empty()) continue;
+      EXPECT_EQ(parent.begin, left.begin);
+      EXPECT_EQ(parent.end, right.Empty() ? left.end : right.end);
+    }
+  }
+}
+
+// ------------------------------------------------- misc index edge cases
+
+TEST(MbiEdgeTest, LeafSizeOneWorks) {
+  MbiParams p;
+  p.leaf_size = 1;
+  p.build.degree = 4;
+  p.build.exact_threshold = 1 << 20;
+  MbiIndex index(4, Metric::kL2, p);
+  SyntheticParams gen;
+  gen.dim = 4;
+  SyntheticData data = GenerateSynthetic(gen, 33);
+  ASSERT_TRUE(
+      index.AddBatch(data.vectors.data(), data.timestamps.data(), 33).ok());
+  EXPECT_EQ(static_cast<int64_t>(index.num_blocks()),
+            BlockTreeShape::BlocksForLeaves(33));
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 3;
+  SearchResult r = index.Search(data.vector(5), TimeWindow{0, 33}, sp, &ctx);
+  ASSERT_FALSE(r.empty());
+  EXPECT_EQ(r[0].id, 5);
+}
+
+TEST(MbiEdgeTest, SingleVectorIndex) {
+  MbiParams p;
+  p.leaf_size = 8;
+  MbiIndex index(3, Metric::kL2, p);
+  float v[3] = {1, 2, 3};
+  ASSERT_TRUE(index.Add(v, 100).ok());
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 5;
+  SearchResult r = index.Search(v, TimeWindow{100, 101}, sp, &ctx);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].id, 0);
+  EXPECT_TRUE(index.Search(v, TimeWindow{101, 200}, sp, &ctx).empty());
+  EXPECT_TRUE(index.Search(v, TimeWindow{0, 100}, sp, &ctx).empty());
+}
+
+TEST(MbiEdgeTest, KLargerThanData) {
+  MbiParams p;
+  p.leaf_size = 4;
+  p.build.degree = 4;
+  p.build.exact_threshold = 1 << 20;
+  MbiIndex index(2, Metric::kL2, p);
+  for (int i = 0; i < 10; ++i) {
+    float v[2] = {static_cast<float>(i), 0};
+    ASSERT_TRUE(index.Add(v, i).ok());
+  }
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 50;
+  sp.max_candidates = 64;
+  sp.epsilon = 1.4f;
+  sp.num_entry_points = 8;
+  float q[2] = {5, 0};
+  SearchResult r = index.Search(q, TimeWindow::All(), sp, &ctx);
+  // Graph search is approximate, but with entries >= n it must find all 10.
+  EXPECT_EQ(r.size(), 10u);
+}
+
+TEST(MbiEdgeTest, NegativeTimestampsWork) {
+  MbiParams p;
+  p.leaf_size = 4;
+  p.block_kind = BlockIndexKind::kFlat;
+  MbiIndex index(2, Metric::kL2, p);
+  for (int i = 0; i < 12; ++i) {
+    float v[2] = {static_cast<float>(i), 0};
+    ASSERT_TRUE(index.Add(v, i - 100).ok());  // timestamps -100..-89
+  }
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 3;
+  SearchResult r = index.Search(index.store().GetVector(3),
+                                TimeWindow{-98, -94}, sp, &ctx);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].id, 3);
+}
+
+TEST(MbiEdgeTest, InvertedWindowReturnsNothing) {
+  MbiParams p;
+  p.leaf_size = 4;
+  MbiIndex index(2, Metric::kL2, p);
+  float v[2] = {0, 0};
+  ASSERT_TRUE(index.Add(v, 5).ok());
+  QueryContext ctx;
+  SearchParams sp;
+  EXPECT_TRUE(index.Search(v, TimeWindow{10, 5}, sp, &ctx).empty());
+}
+
+}  // namespace
+}  // namespace mbi

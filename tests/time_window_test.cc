@@ -1,0 +1,75 @@
+// TimeWindow semantics and the overlap ratio of paper Section 4.3.
+
+#include <gtest/gtest.h>
+
+#include "core/time_window.h"
+
+namespace mbi {
+namespace {
+
+TEST(TimeWindowTest, ContainsIsHalfOpen) {
+  TimeWindow w{10, 20};
+  EXPECT_FALSE(w.Contains(9));
+  EXPECT_TRUE(w.Contains(10));
+  EXPECT_TRUE(w.Contains(19));
+  EXPECT_FALSE(w.Contains(20));
+}
+
+TEST(TimeWindowTest, AllContainsEverything) {
+  TimeWindow w = TimeWindow::All();
+  EXPECT_TRUE(w.Contains(0));
+  EXPECT_TRUE(w.Contains(-1000000));
+  EXPECT_TRUE(w.Contains(1000000));
+}
+
+TEST(TimeWindowTest, LengthAndEmpty) {
+  EXPECT_EQ((TimeWindow{3, 8}).Length(), 5);
+  EXPECT_EQ((TimeWindow{8, 3}).Length(), 0);
+  EXPECT_TRUE((TimeWindow{5, 5}).Empty());
+  EXPECT_FALSE((TimeWindow{5, 6}).Empty());
+}
+
+TEST(TimeWindowTest, OverlapLength) {
+  TimeWindow a{0, 10};
+  EXPECT_EQ(a.OverlapLength({5, 15}), 5);
+  EXPECT_EQ(a.OverlapLength({10, 20}), 0);  // touching, half-open
+  EXPECT_EQ(a.OverlapLength({-5, 0}), 0);
+  EXPECT_EQ(a.OverlapLength({2, 4}), 2);
+  EXPECT_EQ(a.OverlapLength({-5, 25}), 10);
+}
+
+TEST(OverlapRatioTest, FullCoverIsOne) {
+  EXPECT_DOUBLE_EQ(OverlapRatio({0, 100}, {20, 40}), 1.0);
+}
+
+TEST(OverlapRatioTest, NoOverlapIsZero) {
+  EXPECT_DOUBLE_EQ(OverlapRatio({0, 10}, {10, 20}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapRatio({30, 40}, {10, 20}), 0.0);
+}
+
+TEST(OverlapRatioTest, PartialCover) {
+  // Query covers half of the block.
+  EXPECT_DOUBLE_EQ(OverlapRatio({0, 10}, {5, 15}), 0.5);
+  // Query inside the block.
+  EXPECT_DOUBLE_EQ(OverlapRatio({12, 14}, {10, 20}), 0.2);
+}
+
+TEST(OverlapRatioTest, DegenerateBlockWindow) {
+  // Block of zero time width (duplicate timestamps): fully covered when the
+  // query contains the instant, otherwise disjoint.
+  EXPECT_DOUBLE_EQ(OverlapRatio({0, 10}, {5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapRatio({6, 10}, {5, 5}), 0.0);
+}
+
+TEST(OverlapRatioTest, RatioIsNeverAboveOne) {
+  for (Timestamp qs = -5; qs < 25; ++qs) {
+    for (Timestamp qe = qs + 1; qe < 30; ++qe) {
+      double r = OverlapRatio({qs, qe}, {10, 20});
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbi

@@ -1,0 +1,313 @@
+// Unit tests for src/util: Status/Result, RNG, VisitedSet, ThreadPool,
+// binary IO, table formatting.
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/io.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "util/visited_set.h"
+
+namespace mbi {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::OutOfRange("").code(),
+      Status::FailedPrecondition("").code(), Status::NotFound("").code(),
+      Status::IoError("").code(), Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    MBI_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IoError("disk"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(6);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------- VisitedSet
+
+TEST(VisitedSetTest, SetAndTest) {
+  VisitedSet v(10);
+  v.Reset();
+  EXPECT_FALSE(v.Test(3));
+  v.Set(3);
+  EXPECT_TRUE(v.Test(3));
+  EXPECT_FALSE(v.Test(4));
+}
+
+TEST(VisitedSetTest, ResetClearsInO1) {
+  VisitedSet v(5);
+  v.Reset();
+  for (size_t i = 0; i < 5; ++i) v.Set(i);
+  v.Reset();
+  for (size_t i = 0; i < 5; ++i) EXPECT_FALSE(v.Test(i));
+}
+
+TEST(VisitedSetTest, TestAndSetReturnsPreviousState) {
+  VisitedSet v(4);
+  v.Reset();
+  EXPECT_FALSE(v.TestAndSet(2));
+  EXPECT_TRUE(v.TestAndSet(2));
+}
+
+TEST(VisitedSetTest, EnsureCapacityGrows) {
+  VisitedSet v(2);
+  v.EnsureCapacity(100);
+  EXPECT_GE(v.capacity(), 100u);
+  v.Reset();
+  v.Set(99);
+  EXPECT_TRUE(v.Test(99));
+}
+
+TEST(VisitedSetTest, ManyResetsStayCorrect) {
+  VisitedSet v(3);
+  for (int round = 0; round < 10000; ++round) {
+    v.Reset();
+    EXPECT_FALSE(v.Test(1));
+    v.Set(1);
+    EXPECT_TRUE(v.Test(1));
+  }
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+// ---------------------------------------------------------------- Timer
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.ElapsedMicros(), 0);
+}
+
+// ---------------------------------------------------------------- IO
+
+TEST(BinaryIoTest, RoundTripsScalarsVectorsStrings) {
+  std::string path = ::testing::TempDir() + "/mbi_io_test.bin";
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Write<int32_t>(-7).ok());
+    ASSERT_TRUE(w.Write<double>(3.5).ok());
+    ASSERT_TRUE(w.WriteVector<uint64_t>({1, 2, 3}).ok());
+    ASSERT_TRUE(w.WriteString("hello").ok());
+    ASSERT_TRUE(w.WriteVector<float>({}).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  {
+    BinaryReader r;
+    ASSERT_TRUE(r.Open(path).ok());
+    int32_t i;
+    double d;
+    std::vector<uint64_t> v;
+    std::string s;
+    std::vector<float> empty;
+    ASSERT_TRUE(r.Read(&i).ok());
+    ASSERT_TRUE(r.Read(&d).ok());
+    ASSERT_TRUE(r.ReadVector(&v).ok());
+    ASSERT_TRUE(r.ReadString(&s).ok());
+    ASSERT_TRUE(r.ReadVector(&empty).ok());
+    EXPECT_EQ(i, -7);
+    EXPECT_EQ(d, 3.5);
+    EXPECT_EQ(v, (std::vector<uint64_t>{1, 2, 3}));
+    EXPECT_EQ(s, "hello");
+    EXPECT_TRUE(empty.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, OpenMissingFileFails) {
+  BinaryReader r;
+  EXPECT_EQ(r.Open("/nonexistent/dir/file.bin").code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, ReadPastEndFails) {
+  std::string path = ::testing::TempDir() + "/mbi_io_short.bin";
+  {
+    BinaryWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Write<uint8_t>(1).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(path).ok());
+  uint64_t big;
+  EXPECT_EQ(r.Read(&big).code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, WriteWithoutOpenFails) {
+  BinaryWriter w;
+  EXPECT_EQ(w.Write<int>(1).code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter t({"a", "long-header"});
+  t.AddRow({"xxx", "1"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| a   | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxx | 1           |"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(FormatFloat(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatBytes(1024), "1.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MiB");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(12), "12");
+}
+
+}  // namespace
+}  // namespace mbi

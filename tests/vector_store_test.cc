@@ -1,0 +1,118 @@
+// VectorStore: append ordering, timestamp binary search, range windows.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/vector_store.h"
+
+namespace mbi {
+namespace {
+
+std::vector<float> V(std::initializer_list<float> v) { return v; }
+
+TEST(VectorStoreTest, AppendAndRead) {
+  VectorStore store(2, Metric::kL2);
+  ASSERT_TRUE(store.Append(V({1, 2}).data(), 10).ok());
+  ASSERT_TRUE(store.Append(V({3, 4}).data(), 20).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.dim(), 2u);
+  EXPECT_FLOAT_EQ(store.GetVector(0)[0], 1);
+  EXPECT_FLOAT_EQ(store.GetVector(1)[1], 4);
+  EXPECT_EQ(store.GetTimestamp(0), 10);
+  EXPECT_EQ(store.GetTimestamp(1), 20);
+}
+
+TEST(VectorStoreTest, RejectsOutOfOrderTimestamps) {
+  VectorStore store(1, Metric::kL2);
+  ASSERT_TRUE(store.Append(V({1}).data(), 5).ok());
+  Status s = store.Append(V({2}).data(), 4);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.size(), 1u);  // failed append must not modify the store
+}
+
+TEST(VectorStoreTest, AcceptsEqualTimestamps) {
+  VectorStore store(1, Metric::kL2);
+  ASSERT_TRUE(store.Append(V({1}).data(), 5).ok());
+  ASSERT_TRUE(store.Append(V({2}).data(), 5).ok());
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(VectorStoreTest, AppendBatch) {
+  VectorStore store(2, Metric::kAngular);
+  std::vector<float> data = {1, 0, 0, 1, 1, 1};
+  std::vector<Timestamp> ts = {1, 2, 3};
+  ASSERT_TRUE(store.AppendBatch(data.data(), ts.data(), 3).ok());
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.FirstTimestamp(), 1);
+  EXPECT_EQ(store.LastTimestamp(), 3);
+}
+
+TEST(VectorStoreTest, FindRangeHalfOpen) {
+  VectorStore store(1, Metric::kL2);
+  for (Timestamp t : {10, 20, 30, 40, 50}) {
+    ASSERT_TRUE(store.Append(V({float(t)}).data(), t).ok());
+  }
+  EXPECT_EQ(store.FindRange({20, 40}), (IdRange{1, 3}));   // 20, 30
+  EXPECT_EQ(store.FindRange({20, 41}), (IdRange{1, 4}));   // 20, 30, 40
+  EXPECT_EQ(store.FindRange({0, 100}), (IdRange{0, 5}));
+  EXPECT_EQ(store.FindRange({15, 16}).size(), 0);
+  EXPECT_EQ(store.FindRange({50, 51}), (IdRange{4, 5}));
+  EXPECT_EQ(store.FindRange({51, 99}).size(), 0);
+  EXPECT_EQ(store.FindRange({0, 10}).size(), 0);  // exclusive end
+}
+
+TEST(VectorStoreTest, FindRangeWithDuplicates) {
+  VectorStore store(1, Metric::kL2);
+  for (Timestamp t : {10, 20, 20, 20, 30}) {
+    ASSERT_TRUE(store.Append(V({1}).data(), t).ok());
+  }
+  EXPECT_EQ(store.FindRange({20, 21}), (IdRange{1, 4}));
+  EXPECT_EQ(store.FindRange({10, 20}), (IdRange{0, 1}));
+}
+
+TEST(VectorStoreTest, FindRangeEmptyWindow) {
+  VectorStore store(1, Metric::kL2);
+  ASSERT_TRUE(store.Append(V({1}).data(), 1).ok());
+  EXPECT_TRUE(store.FindRange({5, 5}).Empty());
+  EXPECT_TRUE(store.FindRange({7, 3}).Empty());
+}
+
+TEST(VectorStoreTest, RangeWindowExclusiveUpper) {
+  VectorStore store(1, Metric::kL2);
+  for (Timestamp t : {10, 20, 30}) {
+    ASSERT_TRUE(store.Append(V({1}).data(), t).ok());
+  }
+  // Interior range: upper bound is the next vector's timestamp.
+  TimeWindow w = store.RangeWindow({0, 2});
+  EXPECT_EQ(w.start, 10);
+  EXPECT_EQ(w.end, 30);
+  // Range touching the end: upper bound is last + 1.
+  w = store.RangeWindow({1, 3});
+  EXPECT_EQ(w.start, 20);
+  EXPECT_EQ(w.end, 31);
+}
+
+TEST(VectorStoreTest, RangeWindowRoundTripsThroughFindRange) {
+  VectorStore store(1, Metric::kL2);
+  for (Timestamp t : {5, 7, 11, 13, 17, 19, 23}) {
+    ASSERT_TRUE(store.Append(V({1}).data(), t).ok());
+  }
+  for (VectorId b = 0; b < 7; ++b) {
+    for (VectorId e = b + 1; e <= 7; ++e) {
+      IdRange r{b, e};
+      EXPECT_EQ(store.FindRange(store.RangeWindow(r)), r)
+          << "b=" << b << " e=" << e;
+    }
+  }
+}
+
+TEST(VectorStoreTest, MemoryBytesCountsDataAndTimestamps) {
+  VectorStore store(4, Metric::kL2);
+  std::vector<float> v = {1, 2, 3, 4};
+  ASSERT_TRUE(store.Append(v.data(), 0).ok());
+  EXPECT_EQ(store.MemoryBytes(), 4 * sizeof(float) + sizeof(Timestamp));
+}
+
+}  // namespace
+}  // namespace mbi
