@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_index_sizes.dir/bench_table4_index_sizes.cc.o"
+  "CMakeFiles/bench_table4_index_sizes.dir/bench_table4_index_sizes.cc.o.d"
+  "bench_table4_index_sizes"
+  "bench_table4_index_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_index_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

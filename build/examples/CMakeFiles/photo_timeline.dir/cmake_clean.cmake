@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_timeline.dir/photo_timeline.cpp.o"
+  "CMakeFiles/photo_timeline.dir/photo_timeline.cpp.o.d"
+  "photo_timeline"
+  "photo_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

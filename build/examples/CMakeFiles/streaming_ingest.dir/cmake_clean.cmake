@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_ingest.dir/streaming_ingest.cpp.o"
+  "CMakeFiles/streaming_ingest.dir/streaming_ingest.cpp.o.d"
+  "streaming_ingest"
+  "streaming_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bsbf.cc" "src/CMakeFiles/mbi.dir/baseline/bsbf.cc.o" "gcc" "src/CMakeFiles/mbi.dir/baseline/bsbf.cc.o.d"
+  "/root/repo/src/baseline/sf_index.cc" "src/CMakeFiles/mbi.dir/baseline/sf_index.cc.o" "gcc" "src/CMakeFiles/mbi.dir/baseline/sf_index.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/CMakeFiles/mbi.dir/core/distance.cc.o" "gcc" "src/CMakeFiles/mbi.dir/core/distance.cc.o.d"
+  "/root/repo/src/core/vector_store.cc" "src/CMakeFiles/mbi.dir/core/vector_store.cc.o" "gcc" "src/CMakeFiles/mbi.dir/core/vector_store.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/mbi.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/mbi.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/fvecs.cc" "src/CMakeFiles/mbi.dir/data/fvecs.cc.o" "gcc" "src/CMakeFiles/mbi.dir/data/fvecs.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/mbi.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/mbi.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/ground_truth.cc" "src/CMakeFiles/mbi.dir/eval/ground_truth.cc.o" "gcc" "src/CMakeFiles/mbi.dir/eval/ground_truth.cc.o.d"
+  "/root/repo/src/eval/pareto.cc" "src/CMakeFiles/mbi.dir/eval/pareto.cc.o" "gcc" "src/CMakeFiles/mbi.dir/eval/pareto.cc.o.d"
+  "/root/repo/src/eval/recall.cc" "src/CMakeFiles/mbi.dir/eval/recall.cc.o" "gcc" "src/CMakeFiles/mbi.dir/eval/recall.cc.o.d"
+  "/root/repo/src/eval/tau_calibration.cc" "src/CMakeFiles/mbi.dir/eval/tau_calibration.cc.o" "gcc" "src/CMakeFiles/mbi.dir/eval/tau_calibration.cc.o.d"
+  "/root/repo/src/eval/workload.cc" "src/CMakeFiles/mbi.dir/eval/workload.cc.o" "gcc" "src/CMakeFiles/mbi.dir/eval/workload.cc.o.d"
+  "/root/repo/src/graph/exact_builder.cc" "src/CMakeFiles/mbi.dir/graph/exact_builder.cc.o" "gcc" "src/CMakeFiles/mbi.dir/graph/exact_builder.cc.o.d"
+  "/root/repo/src/graph/hnsw.cc" "src/CMakeFiles/mbi.dir/graph/hnsw.cc.o" "gcc" "src/CMakeFiles/mbi.dir/graph/hnsw.cc.o.d"
+  "/root/repo/src/graph/knn_graph.cc" "src/CMakeFiles/mbi.dir/graph/knn_graph.cc.o" "gcc" "src/CMakeFiles/mbi.dir/graph/knn_graph.cc.o.d"
+  "/root/repo/src/graph/nndescent.cc" "src/CMakeFiles/mbi.dir/graph/nndescent.cc.o" "gcc" "src/CMakeFiles/mbi.dir/graph/nndescent.cc.o.d"
+  "/root/repo/src/graph/search.cc" "src/CMakeFiles/mbi.dir/graph/search.cc.o" "gcc" "src/CMakeFiles/mbi.dir/graph/search.cc.o.d"
+  "/root/repo/src/index/block_index.cc" "src/CMakeFiles/mbi.dir/index/block_index.cc.o" "gcc" "src/CMakeFiles/mbi.dir/index/block_index.cc.o.d"
+  "/root/repo/src/index/flat_block_index.cc" "src/CMakeFiles/mbi.dir/index/flat_block_index.cc.o" "gcc" "src/CMakeFiles/mbi.dir/index/flat_block_index.cc.o.d"
+  "/root/repo/src/index/graph_block_index.cc" "src/CMakeFiles/mbi.dir/index/graph_block_index.cc.o" "gcc" "src/CMakeFiles/mbi.dir/index/graph_block_index.cc.o.d"
+  "/root/repo/src/index/hnsw_block_index.cc" "src/CMakeFiles/mbi.dir/index/hnsw_block_index.cc.o" "gcc" "src/CMakeFiles/mbi.dir/index/hnsw_block_index.cc.o.d"
+  "/root/repo/src/mbi/block_tree.cc" "src/CMakeFiles/mbi.dir/mbi/block_tree.cc.o" "gcc" "src/CMakeFiles/mbi.dir/mbi/block_tree.cc.o.d"
+  "/root/repo/src/mbi/mbi_index.cc" "src/CMakeFiles/mbi.dir/mbi/mbi_index.cc.o" "gcc" "src/CMakeFiles/mbi.dir/mbi/mbi_index.cc.o.d"
+  "/root/repo/src/mbi/mbi_io.cc" "src/CMakeFiles/mbi.dir/mbi/mbi_io.cc.o" "gcc" "src/CMakeFiles/mbi.dir/mbi/mbi_io.cc.o.d"
+  "/root/repo/src/util/io.cc" "src/CMakeFiles/mbi.dir/util/io.cc.o" "gcc" "src/CMakeFiles/mbi.dir/util/io.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/mbi.dir/util/table.cc.o" "gcc" "src/CMakeFiles/mbi.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/mbi.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/mbi.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_builder_test.dir/exact_builder_test.cc.o"
+  "CMakeFiles/exact_builder_test.dir/exact_builder_test.cc.o.d"
+  "exact_builder_test"
+  "exact_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_index_test.dir/mbi_index_test.cc.o"
+  "CMakeFiles/mbi_index_test.dir/mbi_index_test.cc.o.d"
+  "mbi_index_test"
+  "mbi_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbi_io_test.dir/mbi_io_test.cc.o"
+  "CMakeFiles/mbi_io_test.dir/mbi_io_test.cc.o.d"
+  "mbi_io_test"
+  "mbi_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbi_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nndescent_test.dir/nndescent_test.cc.o"
+  "CMakeFiles/nndescent_test.dir/nndescent_test.cc.o.d"
+  "nndescent_test"
+  "nndescent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nndescent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_store_test.dir/vector_store_test.cc.o"
+  "CMakeFiles/vector_store_test.dir/vector_store_test.cc.o.d"
+  "vector_store_test"
+  "vector_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
