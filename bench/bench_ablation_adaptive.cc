@@ -73,5 +73,6 @@ int main() {
   std::printf("\nExpected: adaptive >= max(faithful, BSBF) everywhere; on "
               "short windows it converges\nto BSBF's exact scan, on long "
               "windows to the faithful graph path.\n");
+  ExportBenchMetrics("ablation_adaptive");
   return 0;
 }

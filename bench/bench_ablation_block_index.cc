@@ -72,5 +72,6 @@ int main() {
                   FormatFloat(graph_q.qps / flat_qps, 2) + "x"});
   }
   table.Print();
+  ExportBenchMetrics("ablation_block_index");
   return 0;
 }

@@ -67,5 +67,6 @@ int main() {
   std::printf("\nExpected: root-only wins only on ~full windows; leaves-only "
               "pays per-block overhead\non long windows; top-down tracks the "
               "best of both.\n");
+  ExportBenchMetrics("ablation_selection");
   return 0;
 }

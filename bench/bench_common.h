@@ -24,6 +24,8 @@
 #include "eval/recall.h"
 #include "eval/workload.h"
 #include "mbi/mbi_index.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -140,6 +142,26 @@ inline std::string FormatQps(const QpsAtRecall& q) {
     s += "*(r=" + FormatFloat(q.recall, 3) + ")";
   }
   return s;
+}
+
+/// Dumps the process metrics registry (everything the obs layer counted
+/// while this bench built indexes and ran queries) as BENCH_<name>.json in
+/// the working directory — the machine-readable twin of the stdout tables.
+/// Call once at the end of main().
+inline void ExportBenchMetrics(const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  const Status s = obs::WriteMetricsJsonFile(
+      path, obs::MetricRegistry::Default(),
+      {{"bench", bench_name},
+       {"mode", FullMode() ? "full" : "quick"},
+       {"scale", FormatFloat(BenchScaleFromEnv(), 2)},
+       {"recall_target", FormatFloat(RecallTarget(), 3)}});
+  if (s.ok()) {
+    std::printf("\nmetrics: wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "metrics: %s\n", s.ToString().c_str());
+  }
+  std::fflush(stdout);
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -80,5 +80,6 @@ int main() {
               "%.2fx (%s)\n",
               max_speedup, max_speedup_at.c_str());
   std::printf("(paper reports up to 10.88x on its hardware/datasets)\n");
+  ExportBenchMetrics("fig5_search_perf");
   return 0;
 }

@@ -62,5 +62,6 @@ int main() {
     table.AddRow({"BSBF", "-", "1.0000", FormatFloat(bsbf_qps, 1)});
     table.Print();
   }
+  ExportBenchMetrics("fig6_recall_qps");
   return 0;
 }

@@ -106,5 +106,6 @@ int main() {
                 slope(static_cast<double>(a.sf_bytes),
                       static_cast<double>(b.sf_bytes)));
   }
+  ExportBenchMetrics("fig7_scalability");
   return 0;
 }

@@ -102,5 +102,6 @@ int main() {
   std::printf("\nExpected shape: (a) smaller S_L -> slightly more build time, "
               "~n^1.14 log n growth;\n(b) QPS drifts down slowly with n, "
               "jumping up when the tree completes.\n");
+  ExportBenchMetrics("fig8_leaf_size");
   return 0;
 }

@@ -98,5 +98,6 @@ int main() {
     }
     std::printf("\n");
   }
+  ExportBenchMetrics("fig9_tau");
   return 0;
 }

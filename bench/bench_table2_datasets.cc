@@ -36,5 +36,6 @@ int main() {
                std::to_string(ds.leaf_size)});
   }
   t3.Print();
+  ExportBenchMetrics("table2_datasets");
   return 0;
 }

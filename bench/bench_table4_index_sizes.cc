@@ -41,5 +41,6 @@ int main() {
 
   std::printf("\nMBI's ratio exceeds SF's by ~the number of levels, matching "
               "the O(n log n) vs O(n)\nanalysis of Section 4.4.1.\n");
+  ExportBenchMetrics("table4_index_sizes");
   return 0;
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds the unit tests under sanitizers and runs them.
+#
+#   scripts/sanitize_smoke.sh            # ASan + UBSan (default preset)
+#   scripts/sanitize_smoke.sh --tsan     # ThreadSanitizer preset
+#   scripts/sanitize_smoke.sh --tsan concurrency_test obs_test   # subset
+#
+# The obs metrics layer is lock-free atomics hammered from ThreadPool
+# workers; this script is the cheap race/UB check for it and for the rest of
+# the library. Benches and examples are skipped — unit tests only.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+preset="address;undefined"
+build_dir="build-asan"
+if [[ "${1:-}" == "--tsan" ]]; then
+  preset="thread"
+  build_dir="build-tsan"
+  shift
+fi
+
+cmake -B "$build_dir" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMBI_SANITIZE="$preset" \
+  -DMBI_BUILD_BENCHMARKS=OFF \
+  -DMBI_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j"$(nproc)"
+
+cd "$build_dir"
+if [[ $# -gt 0 ]]; then
+  tests_regex="$(IFS='|'; echo "$*")"
+  ctest --output-on-failure -j"$(nproc)" -R "^(${tests_regex})$"
+else
+  ctest --output-on-failure -j"$(nproc)"
+fi
+echo "sanitize smoke (${preset}) passed"

@@ -21,13 +21,18 @@ struct FarterFirst {
 
 NodeId HnswGraph::GreedyStep(const float* data, const float* query,
                              const DistanceFunction& dist, NodeId entry,
-                             int32_t level) const {
+                             int32_t level, SearchStats* stats) const {
   const size_t dim = dist.dim();
   NodeId cur = entry;
   float cur_dist = dist(query, data + static_cast<size_t>(cur) * dim);
+  if (stats != nullptr) ++stats->distance_evaluations;
   bool improved = true;
   while (improved) {
     improved = false;
+    if (stats != nullptr) {
+      ++stats->nodes_expanded;
+      stats->distance_evaluations += Links(cur, level).size();
+    }
     for (NodeId nb : Links(cur, level)) {
       float d = dist(query, data + static_cast<size_t>(nb) * dim);
       if (d < cur_dist) {
@@ -44,7 +49,8 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const float* data,
                                              const float* query,
                                              const DistanceFunction& dist,
                                              NodeId entry, size_t ef,
-                                             int32_t level) const {
+                                             int32_t level,
+                                             SearchStats* stats) const {
   const size_t dim = dist.dim();
   thread_local VisitedSet visited;
   visited.EnsureCapacity(num_nodes());
@@ -55,6 +61,7 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const float* data,
   std::priority_queue<Neighbor> best;  // max-heap by distance
 
   float entry_dist = dist(query, data + static_cast<size_t>(entry) * dim);
+  if (stats != nullptr) ++stats->distance_evaluations;
   frontier.push({entry_dist, static_cast<VectorId>(entry)});
   best.push({entry_dist, static_cast<VectorId>(entry)});
   visited.Set(entry);
@@ -63,13 +70,17 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const float* data,
     Neighbor cur = frontier.top();
     frontier.pop();
     if (best.size() >= ef && cur.distance > best.top().distance) break;
+    if (stats != nullptr) ++stats->nodes_expanded;
     for (NodeId nb : Links(static_cast<NodeId>(cur.id), level)) {
       if (visited.TestAndSet(nb)) continue;
       float d = dist(query, data + static_cast<size_t>(nb) * dim);
+      if (stats != nullptr) ++stats->distance_evaluations;
       if (best.size() < ef || d < best.top().distance) {
         frontier.push({d, static_cast<VectorId>(nb)});
         best.push({d, static_cast<VectorId>(nb)});
         if (best.size() > ef) best.pop();
+      } else if (stats != nullptr) {
+        ++stats->pool_rejects;
       }
     }
   }
@@ -187,14 +198,14 @@ void HnswGraph::Build(const float* data, size_t n,
 
 std::vector<Neighbor> HnswGraph::Search(
     const float* data, const float* query, const DistanceFunction& dist,
-    size_t k, size_t ef,
-    const std::pair<NodeId, NodeId>* local_filter) const {
+    size_t k, size_t ef, const std::pair<NodeId, NodeId>* local_filter,
+    SearchStats* stats) const {
   std::vector<Neighbor> out;
   if (empty()) return out;
 
   NodeId entry = entry_point_;
   for (int32_t l = max_level_; l > 0; --l) {
-    entry = GreedyStep(data, query, dist, entry, l);
+    entry = GreedyStep(data, query, dist, entry, l, stats);
   }
 
   auto in_filter = [&](VectorId id) {
@@ -208,13 +219,14 @@ std::vector<Neighbor> HnswGraph::Search(
   size_t beam = std::max(ef, k);
   for (;;) {
     std::vector<Neighbor> cands =
-        SearchLayer(data, query, dist, entry, beam, 0);
+        SearchLayer(data, query, dist, entry, beam, 0, stats);
     out.clear();
     for (const Neighbor& c : cands) {
       if (!in_filter(c.id)) continue;
       out.push_back(c);
       if (out.size() == k) break;
     }
+    if (stats != nullptr) stats->filter_hits += out.size();
     if (out.size() >= k || cands.size() < beam || beam >= num_nodes()) break;
     beam *= 2;
   }

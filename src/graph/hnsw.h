@@ -16,6 +16,7 @@
 #include "core/distance.h"
 #include "core/types.h"
 #include "graph/knn_graph.h"
+#include "graph/search.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -53,12 +54,14 @@ class HnswGraph {
 
   /// k nearest local ids to `query` with beam width ef (clamped up to k).
   /// `local_filter`, when non-null, is a half-open local-id interval
-  /// [first, second) that results must lie in.
+  /// [first, second) that results must lie in. `stats`, when non-null,
+  /// accumulates expansion/distance counters for the whole descent.
   std::vector<Neighbor> Search(const float* data, const float* query,
                                const DistanceFunction& dist, size_t k,
                                size_t ef,
                                const std::pair<NodeId, NodeId>* local_filter
-                               = nullptr) const;
+                               = nullptr,
+                               SearchStats* stats = nullptr) const;
 
   size_t num_nodes() const { return levels_.size(); }
   bool empty() const { return levels_.empty(); }
@@ -74,14 +77,15 @@ class HnswGraph {
   // Greedy single-entry descent on one layer: repeatedly moves to the
   // closest neighbor until no improvement.
   NodeId GreedyStep(const float* data, const float* query,
-                    const DistanceFunction& dist, NodeId entry,
-                    int32_t level) const;
+                    const DistanceFunction& dist, NodeId entry, int32_t level,
+                    SearchStats* stats = nullptr) const;
 
   // Beam search on one layer; returns up to ef (distance, id) candidates
   // sorted ascending.
   std::vector<Neighbor> SearchLayer(const float* data, const float* query,
                                     const DistanceFunction& dist, NodeId entry,
-                                    size_t ef, int32_t level) const;
+                                    size_t ef, int32_t level,
+                                    SearchStats* stats = nullptr) const;
 
   // Malkov's neighbor-selection heuristic: greedily keeps candidates that
   // are closer to the base point than to any already-kept neighbor.

@@ -7,11 +7,45 @@
 #include <vector>
 
 #include "graph/exact_builder.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace mbi {
+
+namespace {
+
+// Builder convergence metrics (observability for the indexing path).
+struct NnDescentMetrics {
+  obs::Counter* builds;
+  obs::Counter* converged;
+  obs::Histogram* iterations;
+  obs::Histogram* final_update_rate;
+
+  static const NnDescentMetrics& Get() {
+    static const NnDescentMetrics m = [] {
+      auto& reg = obs::MetricRegistry::Default();
+      return NnDescentMetrics{
+          reg.GetCounter("mbi_nndescent_builds_total",
+                         "NNDescent graph constructions"),
+          reg.GetCounter("mbi_nndescent_converged_total",
+                         "builds that hit the delta convergence test before "
+                         "max_iterations"),
+          reg.GetHistogram("mbi_nndescent_iterations",
+                           obs::Histogram::LinearBounds(1, 1, 16),
+                           "local-join iterations per build"),
+          reg.GetHistogram("mbi_nndescent_final_update_rate",
+                           obs::Histogram::ExponentialBounds(1e-5, 10.0, 7),
+                           "pool updates / (n*degree) in the last iteration "
+                           "(convergence rate; lower = more converged)"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace {
 
@@ -110,6 +144,10 @@ KnnGraph BuildNnDescentGraph(const float* data, size_t n,
 
   Rng sample_rng(params.seed ^ 0x9E3779B97F4A7C15ULL);
 
+  size_t iterations_used = 0;
+  size_t last_updates = 0;
+  bool converged = false;
+
   for (size_t iter = 0; iter < params.max_iterations; ++iter) {
     // --- Phase 1: sample new/old neighbor lists per node.
     for (size_t v = 0; v < n; ++v) {
@@ -198,8 +236,21 @@ KnnGraph BuildNnDescentGraph(const float* data, size_t n,
       for (size_t v = 0; v < n; ++v) join_node(v);
     }
 
-    if (updates.load() < update_threshold) break;
+    ++iterations_used;
+    last_updates = updates.load();
+    if (last_updates < update_threshold) {
+      converged = true;
+      break;
+    }
   }
+
+  const NnDescentMetrics& metrics = NnDescentMetrics::Get();
+  metrics.builds->Increment();
+  if (converged) metrics.converged->Increment();
+  metrics.iterations->Observe(static_cast<double>(iterations_used));
+  metrics.final_update_rate->Observe(
+      static_cast<double>(last_updates) /
+      (static_cast<double>(n) * static_cast<double>(degree)));
 
   // --- Export pools to the flat graph.
   KnnGraph graph(n, params.degree);
@@ -217,6 +268,11 @@ KnnGraph BuildKnnGraph(const float* data, size_t n,
                        const DistanceFunction& dist,
                        const GraphBuildParams& params, ThreadPool* pool) {
   if (n <= params.exact_threshold) {
+    static obs::Counter* exact_builds =
+        obs::MetricRegistry::Default().GetCounter(
+            "mbi_exact_graph_builds_total",
+            "blocks built with the O(n^2) exact kNN-graph builder");
+    exact_builds->Increment();
     return BuildExactKnnGraph(data, n, dist, params.degree);
   }
   return BuildNnDescentGraph(data, n, dist, params, pool);

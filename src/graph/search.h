@@ -41,10 +41,24 @@ struct SearchParams {
   size_t num_entry_points = 1;
 };
 
-/// Counters describing one search (used by benches and tests).
+/// Counters describing one search (used by benches, tests and obs traces).
+/// Every field accumulates across calls, so one SearchStats can sum the
+/// per-block searches of a whole MBI query.
 struct SearchStats {
   size_t nodes_expanded = 0;      ///< pool pops (vertices whose edges we scanned)
   size_t distance_evaluations = 0;
+  size_t pool_rejects = 0;        ///< candidates refused by the bounded pool
+                                  ///< or by the epsilon range restriction
+  size_t filter_hits = 0;         ///< expanded vertices inside the id filter
+                                  ///< (offered to the result set)
+
+  SearchStats& operator+=(const SearchStats& o) {
+    nodes_expanded += o.nodes_expanded;
+    distance_evaluations += o.distance_evaluations;
+    pool_rejects += o.pool_rejects;
+    filter_hits += o.filter_hits;
+    return *this;
+  }
 };
 
 /// Reusable scratch state for Algorithm 2. Not thread-safe; use one searcher

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/io.h"
 
 namespace mbi {
@@ -26,7 +27,19 @@ void ExactScan(const VectorStore& store, const IdRange& range,
     float d = dist(query, base + i * dim);
     results->Push(d, scan.begin + static_cast<VectorId>(i));
   }
-  if (stats != nullptr) stats->distance_evaluations += m;
+  static obs::Counter* scans = obs::MetricRegistry::Default().GetCounter(
+      "mbi_search_exact_scans_total",
+      "exact (BSBF-style) block scans, incl. adaptive fallbacks");
+  static obs::Counter* evals = obs::MetricRegistry::Default().GetCounter(
+      "mbi_search_exact_distance_evals_total",
+      "distance evaluations spent in exact block scans");
+  scans->Increment();
+  evals->Increment(m);
+  if (stats != nullptr) {
+    stats->distance_evaluations += m;
+    // Every scanned vector is in-filter by construction and offered to R.
+    stats->filter_hits += m;
+  }
 }
 
 void FlatBlockIndex::Search(const VectorStore& store, const float* query,

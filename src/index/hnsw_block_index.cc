@@ -40,11 +40,10 @@ void HnswBlockIndex::Search(const VectorStore& store, const float* query,
 
   std::vector<Neighbor> hits = hnsw_.Search(
       store.GetVector(range_.begin), query, store.distance(), params.k,
-      params.max_candidates, filter_ptr);
+      params.max_candidates, filter_ptr, stats);
   for (const Neighbor& nb : hits) {
     results->Push(nb.distance, range_.begin + nb.id);
   }
-  if (stats != nullptr) stats->nodes_expanded += hits.size();
 }
 
 Status HnswBlockIndex::Save(BinaryWriter* writer) const {

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace mbi {
+
+const char* SelectionDecisionName(SelectionDecision d) {
+  switch (d) {
+    case SelectionDecision::kNoOverlap: return "no-overlap";
+    case SelectionDecision::kSelectedLeaf: return "selected-leaf";
+    case SelectionDecision::kSelectedByTau: return "selected-tau";
+    case SelectionDecision::kRecursed: return "recursed";
+    case SelectionDecision::kVirtual: return "virtual";
+  }
+  return "unknown";
+}
 
 BlockTreeShape::BlockTreeShape(int64_t num_vectors, int64_t leaf_size)
     : num_vectors_(num_vectors), leaf_size_(leaf_size) {
@@ -82,16 +94,64 @@ std::vector<TreeNode> BlockTreeShape::AllFullNodes() const {
 
 namespace {
 
+// Process-wide selection metrics (cheap relaxed atomics; registered once).
+struct SelectionMetrics {
+  obs::Counter* visited;
+  obs::Counter* selected;
+  obs::Counter* recursed;
+  obs::Histogram* overlap;
+
+  static const SelectionMetrics& Get() {
+    static const SelectionMetrics m = [] {
+      auto& reg = obs::MetricRegistry::Default();
+      return SelectionMetrics{
+          reg.GetCounter("mbi_selection_nodes_visited_total",
+                         "tree nodes visited by Algorithm 4 block selection"),
+          reg.GetCounter("mbi_selection_blocks_selected_total",
+                         "blocks admitted to search block sets"),
+          reg.GetCounter("mbi_selection_nodes_recursed_total",
+                         "nodes (incl. virtual) the selection descended into"),
+          reg.GetHistogram(
+              "mbi_selection_overlap_ratio",
+              obs::Histogram::LinearBounds(0.1, 0.1, 10),
+              "overlap ratio r_o at visited nodes with nonzero overlap"),
+      };
+    }();
+    return m;
+  }
+};
+
+void RecordStep(const TreeNode& node, const IdRange& range, double ro,
+                SelectionDecision decision,
+                std::vector<SelectionStep>* steps) {
+  const SelectionMetrics& m = SelectionMetrics::Get();
+  m.visited->Increment();
+  if (ro > 0.0) m.overlap->Observe(ro);
+  if (decision == SelectionDecision::kSelectedLeaf ||
+      decision == SelectionDecision::kSelectedByTau) {
+    m.selected->Increment();
+  } else if (decision != SelectionDecision::kNoOverlap) {
+    m.recursed->Increment();
+  }
+  if (steps != nullptr) {
+    steps->push_back(SelectionStep{node, range, ro, decision});
+  }
+}
+
 void SelectRecursive(const BlockTreeShape& shape, const TimeWindow& query,
                      double tau,
                      const std::function<TimeWindow(const IdRange&)>& window_of,
-                     const TreeNode& node, std::vector<SelectedBlock>* out) {
+                     const TreeNode& node, std::vector<SelectedBlock>* out,
+                     std::vector<SelectionStep>* steps) {
   const IdRange range = shape.NodeRange(node);
   if (range.Empty()) return;  // node entirely beyond the data
 
   const TimeWindow block_window = window_of(range);
   const double ro = OverlapRatio(query, block_window);
-  if (ro == 0.0) return;  // case 1
+  if (ro == 0.0) {  // case 1
+    RecordStep(node, range, ro, SelectionDecision::kNoOverlap, steps);
+    return;
+  }
 
   const bool partial_leaf = shape.IsPartialLeaf(node);
   const bool materialized = shape.IsMaterialized(node);
@@ -103,7 +163,11 @@ void SelectRecursive(const BlockTreeShape& shape, const TimeWindow& query,
   if (materialized && (is_leaf || ro >= tau)) {
     // Case 2: leaves are always selected; larger blocks only when the query
     // covers more than tau of their window.
-    out->push_back(SelectedBlock{node, range, !partial_leaf});
+    RecordStep(node, range, ro,
+               is_leaf ? SelectionDecision::kSelectedLeaf
+                       : SelectionDecision::kSelectedByTau,
+               steps);
+    out->push_back(SelectedBlock{node, range, !partial_leaf, ro});
     return;
   }
   if (is_leaf) {
@@ -113,21 +177,26 @@ void SelectRecursive(const BlockTreeShape& shape, const TimeWindow& query,
   }
   // Case 3: recurse (also the path through virtual blocks, which are never
   // selected themselves).
+  RecordStep(node, range, ro,
+             materialized ? SelectionDecision::kRecursed
+                          : SelectionDecision::kVirtual,
+             steps);
   SelectRecursive(shape, query, tau, window_of,
-                  TreeNode{node.height - 1, node.pos * 2}, out);
+                  TreeNode{node.height - 1, node.pos * 2}, out, steps);
   SelectRecursive(shape, query, tau, window_of,
-                  TreeNode{node.height - 1, node.pos * 2 + 1}, out);
+                  TreeNode{node.height - 1, node.pos * 2 + 1}, out, steps);
 }
 
 }  // namespace
 
 std::vector<SelectedBlock> SelectBlocks(
     const BlockTreeShape& shape, const TimeWindow& query, double tau,
-    const std::function<TimeWindow(const IdRange&)>& window_of) {
+    const std::function<TimeWindow(const IdRange&)>& window_of,
+    std::vector<SelectionStep>* steps) {
   std::vector<SelectedBlock> out;
   if (shape.num_vectors() == 0 || query.Empty()) return out;
   SelectRecursive(shape, query, tau, window_of,
-                  TreeNode{shape.root_height(), 0}, &out);
+                  TreeNode{shape.root_height(), 0}, &out, steps);
   return out;
 }
 

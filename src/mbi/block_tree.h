@@ -97,6 +97,27 @@ struct SelectedBlock {
   TreeNode node;
   IdRange range;
   bool has_graph = false;  ///< false => partial tail leaf, search exactly
+  double overlap_ratio = 0.0;  ///< r_o(q, B) at selection time
+};
+
+/// What Algorithm 4 decided at one visited node (observability: the
+/// selection trace answers "why was this block (not) searched?").
+enum class SelectionDecision : uint8_t {
+  kNoOverlap = 0,     ///< case 1: query window disjoint from the node
+  kSelectedLeaf = 1,  ///< case 2: leaves are always selected
+  kSelectedByTau = 2, ///< case 2: r_o >= tau
+  kRecursed = 3,      ///< case 3: materialized internal node, r_o < tau
+  kVirtual = 4,       ///< case 3: virtual node passed through
+};
+
+const char* SelectionDecisionName(SelectionDecision d);
+
+/// One visited node of the selection recursion, in visit (preorder) order.
+struct SelectionStep {
+  TreeNode node;
+  IdRange range;
+  double overlap_ratio = 0.0;
+  SelectionDecision decision = SelectionDecision::kNoOverlap;
 };
 
 /// Top-down block selection (paper Algorithm 4, BlockSelection).
@@ -112,9 +133,13 @@ struct SelectedBlock {
 ///
 /// (The pseudocode in the paper writes "r_o > tau" but its lemma proofs and
 /// Figure 4 use ">="; we follow the proofs.)
+///
+/// When `steps` is non-null every visited node is appended with its r_o and
+/// decision — the raw material of an EXPLAIN (obs::QueryTrace).
 std::vector<SelectedBlock> SelectBlocks(
     const BlockTreeShape& shape, const TimeWindow& query, double tau,
-    const std::function<TimeWindow(const IdRange&)>& window_of);
+    const std::function<TimeWindow(const IdRange&)>& window_of,
+    std::vector<SelectionStep>* steps = nullptr);
 
 }  // namespace mbi
 

@@ -3,11 +3,91 @@
 #include <algorithm>
 
 #include "index/flat_block_index.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace mbi {
+
+namespace {
+
+// Build-path metrics (Algorithm 3): leaf fills, cascade shape, build cost.
+struct BuildMetrics {
+  obs::Counter* vectors_added;
+  obs::Counter* leaf_fills;
+  obs::Counter* blocks_built;
+  obs::Histogram* cascade_depth;
+  obs::Histogram* block_seconds;
+  obs::Gauge* total_build_seconds;
+  obs::Gauge* index_blocks;
+  obs::Gauge* index_vectors;
+
+  static const BuildMetrics& Get() {
+    static const BuildMetrics m = [] {
+      auto& reg = obs::MetricRegistry::Default();
+      return BuildMetrics{
+          reg.GetCounter("mbi_build_vectors_added_total",
+                         "vectors appended to MBI indexes"),
+          reg.GetCounter("mbi_build_leaf_fills_total",
+                         "inserts that completed a leaf block"),
+          reg.GetCounter("mbi_build_blocks_built_total",
+                         "block indexes constructed (leaves + merges)"),
+          reg.GetHistogram("mbi_build_merge_cascade_depth",
+                           obs::Histogram::LinearBounds(1, 1, 16),
+                           "blocks finished by one leaf completion "
+                           "(Algorithm 3 cascade length)"),
+          reg.GetHistogram("mbi_build_block_seconds",
+                           obs::Histogram::ExponentialBounds(1e-4, 4.0, 14),
+                           "wall seconds to build one block index"),
+          reg.GetGauge("mbi_build_seconds_total",
+                       "cumulative wall seconds spent building blocks"),
+          reg.GetGauge("mbi_index_blocks",
+                       "materialized full blocks in the newest MbiIndex"),
+          reg.GetGauge("mbi_index_vectors",
+                       "vectors stored in the newest MbiIndex"),
+      };
+    }();
+    return m;
+  }
+};
+
+// Query-path metrics (Algorithm 4): latency, fan-out, selectivity, work.
+struct QueryMetrics {
+  obs::Counter* queries;
+  obs::Counter* empty_queries;
+  obs::Histogram* seconds;
+  obs::Histogram* blocks_searched;
+  obs::Histogram* selectivity;
+  obs::Histogram* distance_evals;
+
+  static const QueryMetrics& Get() {
+    static const QueryMetrics m = [] {
+      auto& reg = obs::MetricRegistry::Default();
+      return QueryMetrics{
+          reg.GetCounter("mbi_queries_total", "TkNN queries answered"),
+          reg.GetCounter("mbi_queries_empty_total",
+                         "queries whose window matched no vectors"),
+          reg.GetHistogram("mbi_query_seconds",
+                           obs::Histogram::ExponentialBounds(1e-6, 4.0, 14),
+                           "end-to-end TkNN query latency"),
+          reg.GetHistogram("mbi_query_blocks_searched",
+                           obs::Histogram::LinearBounds(1, 1, 16),
+                           "blocks per search block set (Lemma 4.1: <= 2 "
+                           "when tau <= 0.5)"),
+          reg.GetHistogram("mbi_query_selectivity",
+                           obs::Histogram::LinearBounds(0.1, 0.1, 10),
+                           "fraction of the store inside the query window"),
+          reg.GetHistogram("mbi_query_distance_evals",
+                           obs::Histogram::ExponentialBounds(4, 4.0, 12),
+                           "distance evaluations per query, all blocks"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Status MbiParams::Validate() const {
   if (leaf_size < 1) {
@@ -37,12 +117,19 @@ MbiIndex::~MbiIndex() = default;
 
 Status MbiIndex::Add(const float* vector, Timestamp t) {
   MBI_RETURN_IF_ERROR(store_.Append(vector, t));
+  const BuildMetrics& metrics = BuildMetrics::Get();
+  metrics.vectors_added->Increment();
   const int64_t n = static_cast<int64_t>(store_.size());
   if (n % params_.leaf_size == 0) {
     // This insert completed leaf number n / S_L: run the merge cascade
     // (Algorithm 3 lines 4-14).
-    BuildNodes(BlockTreeShape::MergeCascade(n / params_.leaf_size));
+    metrics.leaf_fills->Increment();
+    const std::vector<TreeNode> cascade =
+        BlockTreeShape::MergeCascade(n / params_.leaf_size);
+    metrics.cascade_depth->Observe(static_cast<double>(cascade.size()));
+    BuildNodes(cascade);
   }
+  metrics.index_vectors->Set(static_cast<double>(store_.size()));
   return Status::Ok();
 }
 
@@ -55,6 +142,9 @@ Status MbiIndex::AddBatch(const float* vectors, const Timestamp* timestamps,
     return Status::Ok();
   }
   MBI_RETURN_IF_ERROR(store_.AppendBatch(vectors, timestamps, count));
+  const BuildMetrics& metrics = BuildMetrics::Get();
+  metrics.vectors_added->Increment(count);
+  metrics.index_vectors->Set(static_cast<double>(store_.size()));
   BuildPendingBlocks();
   return Status::Ok();
 }
@@ -74,18 +164,22 @@ void MbiIndex::BuildPendingBlocks() {
 void MbiIndex::BuildNodes(const std::vector<TreeNode>& nodes) {
   if (nodes.empty()) return;
   const BlockTreeShape s = shape();
+  const BuildMetrics& metrics = BuildMetrics::Get();
   WallTimer timer;
 
   const size_t first = blocks_.size();
   blocks_.resize(first + nodes.size());
   auto build_one = [&](size_t i) {
     const IdRange range = s.NodeRange(nodes[i]);
+    WallTimer block_timer;
     // Note: per-block NNDescent runs serially here; parallelism comes from
     // building the independent blocks of the cascade concurrently, exactly
     // as described in the paper's "Parallelization of MBI".
     blocks_[first + i] =
         BuildBlockIndex(params_.block_kind, store_, range, params_.build,
                         /*pool=*/nullptr);
+    metrics.block_seconds->Observe(block_timer.ElapsedSeconds());
+    metrics.blocks_built->Increment();
   };
 
   if (pool_ != nullptr && nodes.size() > 1) {
@@ -99,7 +193,10 @@ void MbiIndex::BuildNodes(const std::vector<TreeNode>& nodes) {
     MBI_CHECK(s.PostorderIndex(nodes[i]) ==
               static_cast<int64_t>(first + i));
   }
-  build_seconds_ += timer.ElapsedSeconds();
+  const double elapsed = timer.ElapsedSeconds();
+  build_seconds_ += elapsed;
+  metrics.total_build_seconds->Add(elapsed);
+  metrics.index_blocks->Set(static_cast<double>(blocks_.size()));
 }
 
 std::vector<SelectedBlock> MbiIndex::SelectSearchBlocks(
@@ -113,35 +210,60 @@ std::vector<SelectedBlock> MbiIndex::SelectSearchBlocks(
 }
 
 std::vector<SelectedBlock> MbiIndex::SelectSearchBlocksForRange(
-    const IdRange& range, double tau) const {
+    const IdRange& range, double tau, std::vector<SelectionStep>* steps) const {
   // Blocks are contiguous id slices, so both the query and each block are
   // intervals on the id axis; the overlap ratio is a count fraction.
   return SelectBlocks(
       shape(), TimeWindow{range.begin, range.end}, tau,
-      [](const IdRange& r) { return TimeWindow{r.begin, r.end}; });
+      [](const IdRange& r) { return TimeWindow{r.begin, r.end}; }, steps);
 }
 
 SearchResult MbiIndex::Search(const float* query, const TimeWindow& window,
                               const SearchParams& search, QueryContext* ctx,
-                              MbiQueryStats* stats) const {
-  return SearchWithTau(query, window, search, params_.tau, ctx, stats);
+                              MbiQueryStats* stats,
+                              obs::QueryTrace* trace) const {
+  return SearchWithTau(query, window, search, params_.tau, ctx, stats, trace);
 }
 
 SearchResult MbiIndex::SearchWithTau(const float* query,
                                      const TimeWindow& window,
                                      const SearchParams& search, double tau,
-                                     QueryContext* ctx,
-                                     MbiQueryStats* stats) const {
+                                     QueryContext* ctx, MbiQueryStats* stats,
+                                     obs::QueryTrace* trace) const {
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.queries->Increment();
+  WallTimer query_timer;
+
+  if (trace != nullptr) {
+    *trace = obs::QueryTrace{};
+    trace->window = window;
+    trace->tau = tau;
+    trace->params = search;
+  }
+
   TopKHeap heap(search.k);
-  if (store_.empty()) return {};
+  // Per-query rollup, aggregated whether or not the caller asked for stats;
+  // the caller's MbiQueryStats keeps its accumulate-across-queries contract.
+  MbiQueryStats qstats;
 
   // Map the time window to its id range once (Algorithm 1 line 1); all
   // per-block filtering happens on ids.
-  const IdRange qrange = store_.FindRange(window);
-  if (qrange.Empty()) return {};
+  const IdRange qrange = store_.empty() ? IdRange{0, 0}
+                                        : store_.FindRange(window);
+  if (trace != nullptr) trace->id_range = qrange;
 
-  const std::vector<SelectedBlock> selected =
-      SelectSearchBlocksForRange(qrange, tau);
+  if (qrange.Empty()) {
+    metrics.empty_queries->Increment();
+    const double elapsed = query_timer.ElapsedSeconds();
+    metrics.seconds->Observe(elapsed);
+    if (trace != nullptr) trace->total_seconds = elapsed;
+    return {};
+  }
+  metrics.selectivity->Observe(static_cast<double>(qrange.size()) /
+                               static_cast<double>(store_.size()));
+
+  const std::vector<SelectedBlock> selected = SelectSearchBlocksForRange(
+      qrange, tau, trace != nullptr ? &trace->selection : nullptr);
 
   for (const SelectedBlock& sel : selected) {
     // If the block lies entirely inside the query range, drop the filter:
@@ -183,6 +305,9 @@ SearchResult MbiIndex::SearchWithTau(const float* query,
       }
     }
 
+    SearchStats block_stats;
+    size_t block_hits = 0;
+    WallTimer block_timer;
     if (use_graph) {
       const int64_t idx = shape().PostorderIndex(sel.node);
       MBI_DCHECK(idx >= 0 && idx < static_cast<int64_t>(blocks_.size()));
@@ -193,20 +318,58 @@ SearchResult MbiIndex::SearchWithTau(const float* query,
       TopKHeap block_heap(search.k);
       blocks_[static_cast<size_t>(idx)]->Search(
           store_, query, block_search, filter, ctx->searcher(), ctx->rng(),
-          &block_heap, stats != nullptr ? &stats->search : nullptr);
+          &block_heap, &block_stats);
+      block_hits = block_heap.contents().size();
       for (const Neighbor& nb : block_heap.contents()) {
         heap.Push(nb.distance, nb.id);
       }
-      if (stats != nullptr) ++stats->graph_blocks;
+      ++qstats.graph_blocks;
     } else {
-      // Non-full tail leaf: Algorithm 4 line 6 (BSBF inside the block).
-      ExactScan(store_, sel.range, query, filter, &heap,
-                stats != nullptr ? &stats->search : nullptr);
-      if (stats != nullptr) ++stats->exact_blocks;
+      // Non-full tail leaf (or adaptive fallback): Algorithm 4 line 6 (BSBF
+      // inside the block).
+      ExactScan(store_, sel.range, query, filter, &heap, &block_stats);
+      block_hits = block_stats.filter_hits;
+      ++qstats.exact_blocks;
+    }
+    qstats.search += block_stats;
+    if (trace != nullptr) {
+      trace->blocks.push_back(obs::BlockTrace{
+          sel.node, sel.range, sel.overlap_ratio, use_graph, fully_covered,
+          block_stats, block_timer.ElapsedSeconds(), block_hits});
     }
   }
-  if (stats != nullptr) stats->blocks_searched += selected.size();
-  return heap.ExtractSorted();
+  qstats.blocks_searched = selected.size();
+  // Every selected block is searched exactly one way; a mismatch means a
+  // counting bug upstream (e.g. an adaptive-fallback branch not recorded).
+  MBI_DCHECK(qstats.blocks_searched ==
+             qstats.graph_blocks + qstats.exact_blocks);
+
+  const double elapsed = query_timer.ElapsedSeconds();
+  metrics.seconds->Observe(elapsed);
+  metrics.blocks_searched->Observe(static_cast<double>(qstats.blocks_searched));
+  metrics.distance_evals->Observe(
+      static_cast<double>(qstats.search.distance_evaluations));
+
+  SearchResult result = heap.ExtractSorted();
+  if (trace != nullptr) {
+    trace->total_seconds = elapsed;
+    trace->results_returned = result.size();
+  }
+  if (stats != nullptr) {
+    stats->blocks_searched += qstats.blocks_searched;
+    stats->graph_blocks += qstats.graph_blocks;
+    stats->exact_blocks += qstats.exact_blocks;
+    stats->search += qstats.search;
+  }
+  return result;
+}
+
+obs::QueryTrace MbiIndex::Explain(const float* query, const TimeWindow& window,
+                                  const SearchParams& search,
+                                  QueryContext* ctx) const {
+  obs::QueryTrace trace;
+  (void)Search(query, window, search, ctx, /*stats=*/nullptr, &trace);
+  return trace;
 }
 
 SearchResult MbiIndex::SearchAll(const float* query, const SearchParams& search,

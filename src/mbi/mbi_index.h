@@ -21,6 +21,7 @@
 #include "graph/search.h"
 #include "index/block_index.h"
 #include "mbi/block_tree.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -115,9 +116,12 @@ class MbiIndex {
 
   /// Answers a TkNN query (Algorithm 4): top-k vectors nearest to `query`
   /// with timestamp in `window`. `search` carries k, M_C and epsilon.
+  /// `trace`, when non-null, is filled with a full EXPLAIN record (selection
+  /// decisions, per-block counters and timings) — see obs/trace.h.
   SearchResult Search(const float* query, const TimeWindow& window,
                       const SearchParams& search, QueryContext* ctx,
-                      MbiQueryStats* stats = nullptr) const;
+                      MbiQueryStats* stats = nullptr,
+                      obs::QueryTrace* trace = nullptr) const;
 
   /// Search with a one-off block-selection threshold instead of
   /// params().tau. Tau is a pure query-time parameter (the block structure
@@ -126,11 +130,17 @@ class MbiIndex {
   SearchResult SearchWithTau(const float* query, const TimeWindow& window,
                              const SearchParams& search, double tau,
                              QueryContext* ctx,
-                             MbiQueryStats* stats = nullptr) const;
+                             MbiQueryStats* stats = nullptr,
+                             obs::QueryTrace* trace = nullptr) const;
 
   /// Convenience: unrestricted kNN (window = all time).
   SearchResult SearchAll(const float* query, const SearchParams& search,
                          QueryContext* ctx) const;
+
+  /// EXPLAIN: runs the query with tracing and returns the trace (results
+  /// are discarded; run Search with a trace pointer to keep both).
+  obs::QueryTrace Explain(const float* query, const TimeWindow& window,
+                          const SearchParams& search, QueryContext* ctx) const;
 
   /// The search block set Algorithm 4 would use for `window` (exposed for
   /// tests, benches and EXPLAIN-style debugging). The two-argument form
@@ -141,9 +151,11 @@ class MbiIndex {
   std::vector<SelectedBlock> SelectSearchBlocks(const TimeWindow& window,
                                                 double tau) const;
 
-  /// Selection for a query already expressed as an id range.
-  std::vector<SelectedBlock> SelectSearchBlocksForRange(const IdRange& range,
-                                                        double tau) const;
+  /// Selection for a query already expressed as an id range. `steps`, when
+  /// non-null, receives every visited node with its r_o and tau decision.
+  std::vector<SelectedBlock> SelectSearchBlocksForRange(
+      const IdRange& range, double tau,
+      std::vector<SelectionStep>* steps = nullptr) const;
 
   /// Tree shape for the current size.
   BlockTreeShape shape() const {

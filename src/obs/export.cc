@@ -1,0 +1,145 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json_writer.h"
+
+namespace mbi::obs {
+
+namespace {
+
+// Prometheus sample-value formatting: integers print without a fraction,
+// everything else as the shortest decimal that round-trips (0.0004, not
+// 0.00040000000000000002).
+std::string PromNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[32];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void AppendHistogramJson(JsonWriter* w, const Histogram& h) {
+  w->BeginObject();
+  w->Key("type");
+  w->String("histogram");
+  w->Key("count");
+  w->Uint(h.Count());
+  w->Key("sum");
+  w->Double(h.Sum());
+  w->Key("mean");
+  w->Double(h.Mean());
+  w->Key("p50");
+  w->Double(h.Percentile(0.50));
+  w->Key("p90");
+  w->Double(h.Percentile(0.90));
+  w->Key("p99");
+  w->Double(h.Percentile(0.99));
+  w->Key("bounds");
+  w->BeginArray();
+  for (double b : h.bounds()) w->Double(b);
+  w->EndArray();
+  w->Key("buckets");
+  w->BeginArray();
+  for (uint64_t c : h.BucketCounts()) w->Uint(c);
+  w->EndArray();
+  w->EndObject();
+}
+
+void AppendRegistryJson(JsonWriter* w, const MetricRegistry& registry) {
+  w->BeginObject();
+  for (const MetricRegistry::Entry& e : registry.Snapshot()) {
+    w->Key(e.name);
+    switch (e.kind) {
+      case MetricRegistry::Kind::kCounter:
+        w->Uint(e.counter->Value());
+        break;
+      case MetricRegistry::Kind::kGauge:
+        w->Double(e.gauge->Value());
+        break;
+      case MetricRegistry::Kind::kHistogram:
+        AppendHistogramJson(w, *e.histogram);
+        break;
+    }
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricRegistry& registry) {
+  std::string out;
+  for (const MetricRegistry::Entry& e : registry.Snapshot()) {
+    if (!e.help.empty()) {
+      out += "# HELP " + e.name + " " + e.help + "\n";
+    }
+    switch (e.kind) {
+      case MetricRegistry::Kind::kCounter:
+        out += "# TYPE " + e.name + " counter\n";
+        out += e.name + " " + std::to_string(e.counter->Value()) + "\n";
+        break;
+      case MetricRegistry::Kind::kGauge:
+        out += "# TYPE " + e.name + " gauge\n";
+        out += e.name + " " + PromNumber(e.gauge->Value()) + "\n";
+        break;
+      case MetricRegistry::Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        out += "# TYPE " + e.name + " histogram\n";
+        const std::vector<double>& bounds = h.bounds();
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          out += e.name + "_bucket{le=\"" + PromNumber(bounds[i]) + "\"} " +
+                 std::to_string(h.CumulativeCount(i)) + "\n";
+        }
+        out += e.name + "_bucket{le=\"+Inf\"} " + std::to_string(h.Count()) +
+               "\n";
+        out += e.name + "_sum " + PromNumber(h.Sum()) + "\n";
+        out += e.name + "_count " + std::to_string(h.Count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RegistryJson(const MetricRegistry& registry) {
+  JsonWriter w;
+  AppendRegistryJson(&w, registry);
+  return w.TakeString();
+}
+
+Status WriteMetricsJsonFile(
+    const std::string& path, const MetricRegistry& registry,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("meta");
+  w.BeginObject();
+  for (const auto& [key, value] : labels) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+  w.Key("metrics");
+  AppendRegistryJson(&w, registry);
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::string& json = w.str();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mbi::obs

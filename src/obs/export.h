@@ -1,0 +1,39 @@
+// Exposition formats for a MetricRegistry.
+//
+//   PrometheusText — the Prometheus text exposition format (# HELP/# TYPE
+//                    lines, histogram `_bucket{le=...}` series), scrapeable
+//                    by a real Prometheus server if the text is served.
+//   RegistryJson   — one JSON object keyed by metric name; histograms carry
+//                    buckets, count, sum, mean and p50/p90/p99 readouts.
+//   WriteMetricsJsonFile — RegistryJson wrapped with caller metadata and
+//                    written to disk; bench_common.h uses it for the
+//                    machine-readable BENCH_*.json trajectory files.
+
+#ifndef MBI_OBS_EXPORT_H_
+#define MBI_OBS_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace mbi::obs {
+
+/// Prometheus text exposition of every metric in `registry`.
+std::string PrometheusText(const MetricRegistry& registry);
+
+/// JSON object mapping metric name -> value/summary.
+std::string RegistryJson(const MetricRegistry& registry);
+
+/// Writes `{"meta": {<labels>}, "metrics": <RegistryJson>}` to `path`.
+/// Labels are emitted as strings in given order; duplicate keys are the
+/// caller's bug. Returns IoError on failure to create or write the file.
+Status WriteMetricsJsonFile(
+    const std::string& path, const MetricRegistry& registry,
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+}  // namespace mbi::obs
+
+#endif  // MBI_OBS_EXPORT_H_

@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer (no external dependency).
+//
+// Produces compact, valid JSON with correct string escaping and non-finite
+// number handling (NaN/Inf are emitted as null, as JSON has no literal for
+// them). Used by the metrics/trace exporters and the bench harness.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("qps"); w.Double(1234.5);
+//   w.Key("blocks"); w.BeginArray(); w.Int(2); w.EndArray();
+//   w.EndObject();
+//   std::string json = w.TakeString();
+
+#ifndef MBI_OBS_JSON_WRITER_H_
+#define MBI_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbi::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object key; must be followed by exactly one value (or container).
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The document so far. Valid JSON once every container is closed.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Escapes `raw` per RFC 8259 (quotes included).
+  static std::string Quote(const std::string& raw);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // Per-container flag: does the current container already hold an element?
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mbi::obs
+
+#endif  // MBI_OBS_JSON_WRITER_H_

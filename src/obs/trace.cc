@@ -1,0 +1,192 @@
+#include "obs/trace.h"
+
+#include "obs/json_writer.h"
+#include "util/table.h"
+
+namespace mbi::obs {
+
+namespace {
+
+std::string NodeName(const TreeNode& node) {
+  return "h" + std::to_string(node.height) + "/p" + std::to_string(node.pos);
+}
+
+std::string RangeName(const IdRange& range) {
+  return "[" + std::to_string(range.begin) + ", " + std::to_string(range.end) +
+         ")";
+}
+
+void AppendNodeJson(JsonWriter* w, const TreeNode& node) {
+  w->BeginObject();
+  w->Key("height");
+  w->Int(node.height);
+  w->Key("pos");
+  w->Int(node.pos);
+  w->EndObject();
+}
+
+void AppendRangeJson(JsonWriter* w, const IdRange& range) {
+  w->BeginObject();
+  w->Key("begin");
+  w->Int(range.begin);
+  w->Key("end");
+  w->Int(range.end);
+  w->EndObject();
+}
+
+void AppendStatsJson(JsonWriter* w, const SearchStats& s) {
+  w->BeginObject();
+  w->Key("nodes_expanded");
+  w->Uint(s.nodes_expanded);
+  w->Key("distance_evaluations");
+  w->Uint(s.distance_evaluations);
+  w->Key("pool_rejects");
+  w->Uint(s.pool_rejects);
+  w->Key("filter_hits");
+  w->Uint(s.filter_hits);
+  w->EndObject();
+}
+
+}  // namespace
+
+SearchStats QueryTrace::TotalStats() const {
+  SearchStats total;
+  for (const BlockTrace& b : blocks) total += b.stats;
+  return total;
+}
+
+size_t QueryTrace::GraphBlocks() const {
+  size_t n = 0;
+  for (const BlockTrace& b : blocks) n += b.used_graph ? 1 : 0;
+  return n;
+}
+
+size_t QueryTrace::ExactBlocks() const { return blocks.size() - GraphBlocks(); }
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  out += "EXPLAIN TkNN query  window=[" + std::to_string(window.start) + ", " +
+         std::to_string(window.end) + ")  ids=" + RangeName(id_range) +
+         "  k=" + std::to_string(params.k) +
+         "  tau=" + FormatFloat(tau, 2) +
+         "  eps=" + FormatFloat(params.epsilon, 2) + "\n";
+
+  out += "\nblock selection (Algorithm 4, preorder):\n";
+  TablePrinter sel({"node", "ids", "r_o", "decision"});
+  for (const SelectionStep& s : selection) {
+    sel.AddRow({NodeName(s.node), RangeName(s.range),
+                FormatFloat(s.overlap_ratio, 3),
+                SelectionDecisionName(s.decision)});
+  }
+  out += sel.ToString();
+
+  out += "\nblocks searched:\n";
+  TablePrinter blk({"node", "ids", "r_o", "mode", "filter", "expanded",
+                    "dist-evals", "rejects", "hits", "ms"});
+  for (const BlockTrace& b : blocks) {
+    blk.AddRow({NodeName(b.node), RangeName(b.range),
+                FormatFloat(b.overlap_ratio, 3),
+                b.used_graph ? "graph" : "exact",
+                b.fully_covered ? "none" : "id-range",
+                FormatCount(b.stats.nodes_expanded),
+                FormatCount(b.stats.distance_evaluations),
+                FormatCount(b.stats.pool_rejects), FormatCount(b.hits),
+                FormatFloat(b.seconds * 1e3, 3)});
+  }
+  out += blk.ToString();
+
+  const SearchStats total = TotalStats();
+  out += "\ntotals: blocks=" + std::to_string(blocks.size()) + " (graph=" +
+         std::to_string(GraphBlocks()) + ", exact=" +
+         std::to_string(ExactBlocks()) + ")  dist-evals=" +
+         std::to_string(total.distance_evaluations) + "  expanded=" +
+         std::to_string(total.nodes_expanded) + "  results=" +
+         std::to_string(results_returned) + "  time=" +
+         FormatFloat(total_seconds * 1e3, 3) + " ms\n";
+  return out;
+}
+
+std::string QueryTrace::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("window");
+  w.BeginObject();
+  w.Key("start");
+  w.Int(window.start);
+  w.Key("end");
+  w.Int(window.end);
+  w.EndObject();
+
+  w.Key("id_range");
+  AppendRangeJson(&w, id_range);
+  w.Key("tau");
+  w.Double(tau);
+  w.Key("k");
+  w.Uint(params.k);
+  w.Key("max_candidates");
+  w.Uint(params.max_candidates);
+  w.Key("epsilon");
+  w.Double(params.epsilon);
+
+  w.Key("selection");
+  w.BeginArray();
+  for (const SelectionStep& s : selection) {
+    w.BeginObject();
+    w.Key("node");
+    AppendNodeJson(&w, s.node);
+    w.Key("ids");
+    AppendRangeJson(&w, s.range);
+    w.Key("overlap_ratio");
+    w.Double(s.overlap_ratio);
+    w.Key("decision");
+    w.String(SelectionDecisionName(s.decision));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("blocks");
+  w.BeginArray();
+  for (const BlockTrace& b : blocks) {
+    w.BeginObject();
+    w.Key("node");
+    AppendNodeJson(&w, b.node);
+    w.Key("ids");
+    AppendRangeJson(&w, b.range);
+    w.Key("overlap_ratio");
+    w.Double(b.overlap_ratio);
+    w.Key("mode");
+    w.String(b.used_graph ? "graph" : "exact");
+    w.Key("fully_covered");
+    w.Bool(b.fully_covered);
+    w.Key("stats");
+    AppendStatsJson(&w, b.stats);
+    w.Key("hits");
+    w.Uint(b.hits);
+    w.Key("seconds");
+    w.Double(b.seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("totals");
+  w.BeginObject();
+  w.Key("blocks_searched");
+  w.Uint(blocks.size());
+  w.Key("graph_blocks");
+  w.Uint(GraphBlocks());
+  w.Key("exact_blocks");
+  w.Uint(ExactBlocks());
+  w.Key("stats");
+  AppendStatsJson(&w, TotalStats());
+  w.Key("results_returned");
+  w.Uint(results_returned);
+  w.Key("seconds");
+  w.Double(total_seconds);
+  w.EndObject();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace mbi::obs
