@@ -9,8 +9,8 @@ namespace mbi {
 
 void SfIndex::Build(ThreadPool* pool) {
   WallTimer timer;
-  graph_ = BuildKnnGraph(store_.data(), store_.size(), store_.distance(),
-                         params_, pool);
+  graph_ = BuildKnnGraph(VectorSlice(store_, 0), store_.size(),
+                         store_.distance(), params_, pool);
   build_seconds_ = timer.ElapsedSeconds();
   built_ = true;
 }

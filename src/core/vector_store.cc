@@ -1,20 +1,76 @@
 #include "core/vector_store.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace mbi {
+namespace {
 
-VectorStore::VectorStore(size_t dim, Metric metric) : dist_(metric, dim) {}
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+size_t Log2(size_t pow2) {
+  size_t s = 0;
+  while ((size_t{1} << s) < pow2) ++s;
+  return s;
+}
+
+}  // namespace
+
+VectorStore::VectorStore(size_t dim, Metric metric, size_t chunk_capacity)
+    : dist_(metric, dim),
+      chunk_capacity_(RoundUpPow2(std::max<size_t>(chunk_capacity, 1))),
+      chunk_shift_(Log2(chunk_capacity_)),
+      chunk_mask_(chunk_capacity_ - 1) {}
+
+void VectorStore::EnsureChunkFor(size_t index) {
+  const size_t chunk = index >> chunk_shift_;
+  if (chunk < data_chunks_.size()) return;
+  MBI_CHECK(chunk == data_chunks_.size());  // appends are sequential
+
+  data_chunks_.push_back(
+      std::make_unique<float[]>(chunk_capacity_ * dist_.dim()));
+  ts_chunks_.push_back(std::make_unique<Timestamp[]>(chunk_capacity_));
+
+  if (chunk >= table_capacity_) {
+    // Grow the chunk table. The previous table is retired, not freed:
+    // readers that already loaded it keep dereferencing valid chunk
+    // pointers (chunks themselves never move).
+    const size_t new_capacity = std::max<size_t>(table_capacity_ * 2, 8);
+    auto grown = std::make_unique<Chunk[]>(new_capacity);
+    const Chunk* old = table_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < chunk; ++i) grown[i] = old[i];
+    grown[chunk] = Chunk{data_chunks_.back().get(), ts_chunks_.back().get()};
+    table_.store(grown.get(), std::memory_order_release);
+    table_capacity_ = new_capacity;
+    tables_.push_back(std::move(grown));
+  } else {
+    // In-place publication of one new slot. Readers never touch slot
+    // `chunk` before committed_ covers it, and the committed_ release
+    // store below orders this write before their acquire load.
+    Chunk* active = tables_.back().get();
+    active[chunk] = Chunk{data_chunks_.back().get(), ts_chunks_.back().get()};
+  }
+}
 
 Status VectorStore::Append(const float* vector, Timestamp t) {
-  if (!timestamps_.empty() && t < timestamps_.back()) {
+  if (write_size_ > 0 && t < last_timestamp_) {
     return Status::FailedPrecondition(
         "timestamps must be appended in non-decreasing order");
   }
-  data_.insert(data_.end(), vector, vector + dist_.dim());
-  timestamps_.push_back(t);
+  EnsureChunkFor(write_size_);
+  const size_t local = write_size_ & chunk_mask_;
+  std::memcpy(data_chunks_.back().get() + local * dist_.dim(), vector,
+              dist_.dim() * sizeof(float));
+  ts_chunks_.back()[local] = t;
+  last_timestamp_ = t;
+  ++write_size_;
+  committed_.store(write_size_, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -26,24 +82,37 @@ Status VectorStore::AppendBatch(const float* vectors,
   return Status::Ok();
 }
 
-IdRange VectorStore::FindRange(const TimeWindow& window) const {
+IdRange VectorStore::FindRangeInPrefix(const TimeWindow& window,
+                                       size_t n) const {
   if (window.Empty()) return IdRange{0, 0};
-  auto lo = std::lower_bound(timestamps_.begin(), timestamps_.end(),
-                             window.start);
-  auto hi = std::lower_bound(lo, timestamps_.end(), window.end);
-  return IdRange{lo - timestamps_.begin(), hi - timestamps_.begin()};
+  // Manual lower bounds over GetTimestamp: timestamps are chunked, so there
+  // is no contiguous array to hand to std::lower_bound.
+  auto lower = [this](Timestamp t, size_t lo, size_t hi) {
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (GetTimestamp(static_cast<VectorId>(mid)) < t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  const size_t begin = lower(window.start, 0, n);
+  const size_t end = lower(window.end, begin, n);
+  return IdRange{static_cast<VectorId>(begin), static_cast<VectorId>(end)};
 }
 
 TimeWindow VectorStore::RangeWindow(const IdRange& range) const {
+  const size_t n = size();
   MBI_CHECK(!range.Empty());
-  MBI_CHECK(range.begin >= 0 &&
-            static_cast<size_t>(range.end) <= timestamps_.size());
+  MBI_CHECK(range.begin >= 0 && static_cast<size_t>(range.end) <= n);
   TimeWindow w;
-  w.start = timestamps_[static_cast<size_t>(range.begin)];
-  if (static_cast<size_t>(range.end) < timestamps_.size()) {
-    w.end = timestamps_[static_cast<size_t>(range.end)];
+  w.start = GetTimestamp(range.begin);
+  if (static_cast<size_t>(range.end) < n) {
+    w.end = GetTimestamp(range.end);
   } else {
-    w.end = timestamps_.back() + 1;
+    w.end = GetTimestamp(static_cast<VectorId>(n) - 1) + 1;
   }
   return w;
 }

@@ -3,13 +3,25 @@
 // Vectors must arrive in non-decreasing timestamp order (the paper's
 // time-accumulating setting), so the store doubles as the sorted array that
 // BSBF's binary search requires and as the backing slice store for MBI
-// blocks: every block references a contiguous [begin, end) range and never
+// blocks: every block references a contiguous [begin, end) id range and never
 // copies vector data.
+//
+// Concurrency contract (single writer, many readers):
+//
+//   Storage is a sequence of fixed-capacity arena chunks that are never
+//   reallocated or moved, so a pointer returned by GetVector() stays valid
+//   for the lifetime of the store. The writer appends into the tail chunk
+//   and then publishes the new size with a release store; readers obtain the
+//   committed size via size() (acquire) and may touch any id below it while
+//   the writer keeps appending. One writer at a time; Append/AppendBatch
+//   must not race with each other.
 
 #ifndef MBI_CORE_VECTOR_STORE_H_
 #define MBI_CORE_VECTOR_STORE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/distance.h"
@@ -34,40 +46,79 @@ struct IdRange {
 
 class VectorStore {
  public:
+  /// Default arena capacity in vectors. Must be a power of two; smaller
+  /// values waste less memory on tiny stores, larger ones give longer
+  /// contiguous runs to SIMD-friendly scan loops.
+  static constexpr size_t kDefaultChunkCapacity = 8192;
+
   /// Creates an empty store for `dim`-dimensional vectors under `metric`.
-  VectorStore(size_t dim, Metric metric);
+  /// `chunk_capacity` is rounded up to a power of two.
+  VectorStore(size_t dim, Metric metric,
+              size_t chunk_capacity = kDefaultChunkCapacity);
+
+  // Chunks are referenced by readers; the store is not copyable or movable.
+  VectorStore(const VectorStore&) = delete;
+  VectorStore& operator=(const VectorStore&) = delete;
 
   /// Appends one timestamped vector. Fails with FailedPrecondition if `t`
-  /// precedes the last appended timestamp.
+  /// precedes the last appended timestamp. Writer-only.
   Status Append(const float* vector, Timestamp t);
 
   /// Appends `count` vectors stored row-major with per-row timestamps.
+  /// On an ordering error the already-valid prefix stays appended.
   Status AppendBatch(const float* vectors, const Timestamp* timestamps,
                      size_t count);
 
-  /// Number of stored vectors.
-  size_t size() const { return timestamps_.size(); }
-  bool empty() const { return timestamps_.empty(); }
+  /// Number of committed vectors (acquire load; safe from any thread).
+  size_t size() const { return committed_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
   size_t dim() const { return dist_.dim(); }
   Metric metric() const { return dist_.metric(); }
   const DistanceFunction& distance() const { return dist_; }
 
-  /// Pointer to vector `id`'s floats.
+  /// Pointer to vector `id`'s floats. Never dangles: chunks are stable.
   const float* GetVector(VectorId id) const {
-    return data_.data() + static_cast<size_t>(id) * dist_.dim();
+    const size_t i = static_cast<size_t>(id);
+    const Chunk& c = table_.load(std::memory_order_acquire)[i >> chunk_shift_];
+    return c.data + (i & chunk_mask_) * dist_.dim();
   }
 
   Timestamp GetTimestamp(VectorId id) const {
-    return timestamps_[static_cast<size_t>(id)];
+    const size_t i = static_cast<size_t>(id);
+    const Chunk& c = table_.load(std::memory_order_acquire)[i >> chunk_shift_];
+    return c.timestamps[i & chunk_mask_];
   }
 
-  const Timestamp* timestamps() const { return timestamps_.data(); }
-  const float* data() const { return data_.data(); }
+  /// A maximal contiguous run of storage starting at one id: `count` vectors
+  /// at `data` (row-major) with parallel `timestamps`. Runs end at chunk
+  /// boundaries; loop until `begin + count == end` to cover a whole range.
+  struct ContiguousRun {
+    const float* data;
+    const Timestamp* timestamps;
+    size_t count;
+  };
+
+  /// Longest contiguous run starting at `begin`, clipped to `end`.
+  /// Requires begin < end <= size().
+  ContiguousRun Run(VectorId begin, VectorId end) const {
+    const size_t i = static_cast<size_t>(begin);
+    const size_t local = i & chunk_mask_;
+    const size_t count = std::min(chunk_capacity_ - local,
+                                  static_cast<size_t>(end - begin));
+    const Chunk& c = table_.load(std::memory_order_acquire)[i >> chunk_shift_];
+    return {c.data + local * dist_.dim(), c.timestamps + local, count};
+  }
 
   /// Ids of all vectors whose timestamp lies in the half-open `window`
   /// (binary search; O(log n)). The returned range is contiguous because the
   /// store is timestamp-sorted.
-  IdRange FindRange(const TimeWindow& window) const;
+  IdRange FindRange(const TimeWindow& window) const {
+    return FindRangeInPrefix(window, size());
+  }
+
+  /// FindRange restricted to the first `n` vectors — the committed prefix a
+  /// concurrent reader pinned at the start of its query (n <= size()).
+  IdRange FindRangeInPrefix(const TimeWindow& window, size_t n) const;
 
   /// Time window spanned by ids [range.begin, range.end): starts at the first
   /// vector's timestamp; the exclusive upper bound is the timestamp of the
@@ -76,18 +127,75 @@ class VectorStore {
   TimeWindow RangeWindow(const IdRange& range) const;
 
   /// Timestamp of the first / last stored vector. Store must be non-empty.
-  Timestamp FirstTimestamp() const { return timestamps_.front(); }
-  Timestamp LastTimestamp() const { return timestamps_.back(); }
+  Timestamp FirstTimestamp() const { return GetTimestamp(0); }
+  Timestamp LastTimestamp() const {
+    return GetTimestamp(static_cast<VectorId>(size()) - 1);
+  }
 
-  /// Bytes used by raw vector data + timestamps.
+  /// Bytes used by committed vector data + timestamps (allocation is rounded
+  /// up to whole chunks; this reports the used portion).
   size_t MemoryBytes() const {
-    return data_.size() * sizeof(float) + timestamps_.size() * sizeof(Timestamp);
+    return size() * (dist_.dim() * sizeof(float) + sizeof(Timestamp));
   }
 
  private:
+  struct Chunk {
+    float* data = nullptr;          // chunk_capacity_ * dim floats
+    Timestamp* timestamps = nullptr;  // chunk_capacity_ entries
+  };
+
+  // Ensures the chunk holding slot `index` exists, growing the chunk table
+  // if needed. Writer-only.
+  void EnsureChunkFor(size_t index);
+
   DistanceFunction dist_;
-  std::vector<float> data_;           // row-major, size() * dim floats
-  std::vector<Timestamp> timestamps_;  // non-decreasing
+  size_t chunk_capacity_;  // power of two
+  size_t chunk_shift_;
+  size_t chunk_mask_;
+
+  // Chunk pointer table. The active table is published through table_;
+  // superseded tables are retired (kept alive) because a reader may still
+  // hold them — every chunk pointer they contain stays valid.
+  std::atomic<Chunk*> table_{nullptr};
+  size_t table_capacity_ = 0;
+  std::vector<std::unique_ptr<Chunk[]>> tables_;  // [0..n-2] retired, back() active
+
+  // Chunk ownership (writer-only bookkeeping).
+  std::vector<std::unique_ptr<float[]>> data_chunks_;
+  std::vector<std::unique_ptr<Timestamp[]>> ts_chunks_;
+
+  // Writer-side append cursor and the reader-visible committed size.
+  size_t write_size_ = 0;
+  Timestamp last_timestamp_ = 0;
+  std::atomic<size_t> committed_{0};
+};
+
+/// A read-only view of `n` row-major vectors addressed by local index —
+/// either a plain contiguous buffer or a slice of a (chunked) VectorStore
+/// starting at a base id. Lets graph builders and searchers run over store
+/// slices without assuming the slice is contiguous in memory.
+class VectorSlice {
+ public:
+  VectorSlice() = default;
+
+  /// Contiguous rows: row(i) = data + i * dim.
+  VectorSlice(const float* data, size_t dim) : data_(data), dim_(dim) {}
+
+  /// Store-backed rows: row(i) = store.GetVector(base + i).
+  VectorSlice(const VectorStore& store, VectorId base)
+      : store_(&store), base_(base) {}
+
+  const float* row(size_t i) const {
+    return store_ != nullptr
+               ? store_->GetVector(base_ + static_cast<VectorId>(i))
+               : data_ + i * dim_;
+  }
+
+ private:
+  const VectorStore* store_ = nullptr;
+  VectorId base_ = 0;
+  const float* data_ = nullptr;
+  size_t dim_ = 0;
 };
 
 }  // namespace mbi

@@ -22,13 +22,12 @@ struct HeapEntry {
 
 }  // namespace
 
-KnnGraph BuildExactKnnGraph(const float* data, size_t n,
+KnnGraph BuildExactKnnGraph(const VectorSlice& rows, size_t n,
                             const DistanceFunction& dist, size_t degree) {
   MBI_CHECK(degree > 0);
   KnnGraph graph(n, degree);
   if (n <= 1) return graph;
 
-  const size_t dim = dist.dim();
   std::vector<std::vector<HeapEntry>> heaps(n);
   for (auto& h : heaps) h.reserve(degree + 1);
 
@@ -45,9 +44,9 @@ KnnGraph BuildExactKnnGraph(const float* data, size_t n,
   };
 
   for (size_t i = 0; i < n; ++i) {
-    const float* vi = data + i * dim;
+    const float* vi = rows.row(i);
     for (size_t j = i + 1; j < n; ++j) {
-      float d = dist(vi, data + j * dim);
+      float d = dist(vi, rows.row(j));
       offer(i, d, static_cast<NodeId>(j));
       offer(j, d, static_cast<NodeId>(i));
     }

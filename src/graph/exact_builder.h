@@ -6,15 +6,23 @@
 #include <cstddef>
 
 #include "core/distance.h"
+#include "core/vector_store.h"
 #include "graph/knn_graph.h"
 
 namespace mbi {
 
-/// Builds the exact kNN graph over `n` row-major vectors: node v's neighbor
-/// list holds the `degree` nearest other nodes, sorted by distance. Each pair
-/// distance is computed once.
-KnnGraph BuildExactKnnGraph(const float* data, size_t n,
+/// Builds the exact kNN graph over `n` vectors addressed through `rows`:
+/// node v's neighbor list holds the `degree` nearest other nodes, sorted by
+/// distance. Each pair distance is computed once.
+KnnGraph BuildExactKnnGraph(const VectorSlice& rows, size_t n,
                             const DistanceFunction& dist, size_t degree);
+
+/// Convenience overload for a contiguous row-major buffer.
+inline KnnGraph BuildExactKnnGraph(const float* data, size_t n,
+                                   const DistanceFunction& dist,
+                                   size_t degree) {
+  return BuildExactKnnGraph(VectorSlice(data, dist.dim()), n, dist, degree);
+}
 
 }  // namespace mbi
 

@@ -19,12 +19,11 @@ struct FarterFirst {
 
 }  // namespace
 
-NodeId HnswGraph::GreedyStep(const float* data, const float* query,
+NodeId HnswGraph::GreedyStep(const VectorSlice& rows, const float* query,
                              const DistanceFunction& dist, NodeId entry,
                              int32_t level, SearchStats* stats) const {
-  const size_t dim = dist.dim();
   NodeId cur = entry;
-  float cur_dist = dist(query, data + static_cast<size_t>(cur) * dim);
+  float cur_dist = dist(query, rows.row(static_cast<size_t>(cur)));
   if (stats != nullptr) ++stats->distance_evaluations;
   bool improved = true;
   while (improved) {
@@ -34,7 +33,7 @@ NodeId HnswGraph::GreedyStep(const float* data, const float* query,
       stats->distance_evaluations += Links(cur, level).size();
     }
     for (NodeId nb : Links(cur, level)) {
-      float d = dist(query, data + static_cast<size_t>(nb) * dim);
+      float d = dist(query, rows.row(static_cast<size_t>(nb)));
       if (d < cur_dist) {
         cur = nb;
         cur_dist = d;
@@ -45,13 +44,12 @@ NodeId HnswGraph::GreedyStep(const float* data, const float* query,
   return cur;
 }
 
-std::vector<Neighbor> HnswGraph::SearchLayer(const float* data,
+std::vector<Neighbor> HnswGraph::SearchLayer(const VectorSlice& rows,
                                              const float* query,
                                              const DistanceFunction& dist,
                                              NodeId entry, size_t ef,
                                              int32_t level,
                                              SearchStats* stats) const {
-  const size_t dim = dist.dim();
   thread_local VisitedSet visited;
   visited.EnsureCapacity(num_nodes());
   visited.Reset();
@@ -60,7 +58,7 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const float* data,
   std::priority_queue<Neighbor, std::vector<Neighbor>, FarterFirst> frontier;
   std::priority_queue<Neighbor> best;  // max-heap by distance
 
-  float entry_dist = dist(query, data + static_cast<size_t>(entry) * dim);
+  float entry_dist = dist(query, rows.row(static_cast<size_t>(entry)));
   if (stats != nullptr) ++stats->distance_evaluations;
   frontier.push({entry_dist, static_cast<VectorId>(entry)});
   best.push({entry_dist, static_cast<VectorId>(entry)});
@@ -73,7 +71,7 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const float* data,
     if (stats != nullptr) ++stats->nodes_expanded;
     for (NodeId nb : Links(static_cast<NodeId>(cur.id), level)) {
       if (visited.TestAndSet(nb)) continue;
-      float d = dist(query, data + static_cast<size_t>(nb) * dim);
+      float d = dist(query, rows.row(static_cast<size_t>(nb)));
       if (stats != nullptr) ++stats->distance_evaluations;
       if (best.size() < ef || d < best.top().distance) {
         frontier.push({d, static_cast<VectorId>(nb)});
@@ -96,18 +94,17 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const float* data,
 }
 
 std::vector<NodeId> HnswGraph::SelectNeighbors(
-    const float* data, const DistanceFunction& dist,
+    const VectorSlice& rows, const DistanceFunction& dist,
     const std::vector<Neighbor>& candidates, size_t m) const {
   // Candidates arrive sorted ascending. Keep c only if it is closer to the
   // base than to every kept neighbor (diversity heuristic).
-  const size_t dim = dist.dim();
   std::vector<NodeId> kept;
   for (const Neighbor& c : candidates) {
     if (kept.size() >= m) break;
     bool dominated = false;
     for (NodeId g : kept) {
-      float d = dist(data + static_cast<size_t>(c.id) * dim,
-                     data + static_cast<size_t>(g) * dim);
+      float d = dist(rows.row(static_cast<size_t>(c.id)),
+                     rows.row(static_cast<size_t>(g)));
       if (d < c.distance) {
         dominated = true;
         break;
@@ -127,7 +124,7 @@ std::vector<NodeId> HnswGraph::SelectNeighbors(
   return kept;
 }
 
-void HnswGraph::Build(const float* data, size_t n,
+void HnswGraph::Build(const VectorSlice& rows, size_t n,
                       const DistanceFunction& dist, const HnswParams& params) {
   MBI_CHECK(params.M >= 2);
   params_ = params;
@@ -139,7 +136,6 @@ void HnswGraph::Build(const float* data, size_t n,
 
   Rng rng(params.seed);
   const double ml = 1.0 / std::log(static_cast<double>(params.M));
-  const size_t dim = dist.dim();
 
   for (size_t i = 0; i < n; ++i) {
     const NodeId node = static_cast<NodeId>(i);
@@ -155,21 +151,21 @@ void HnswGraph::Build(const float* data, size_t n,
       continue;
     }
 
-    const float* q = data + i * dim;
+    const float* q = rows.row(i);
     NodeId entry = entry_point_;
     // Greedy descent through layers above the new node's level.
     for (int32_t l = max_level_; l > level; --l) {
-      entry = GreedyStep(data, q, dist, entry, l);
+      entry = GreedyStep(rows, q, dist, entry, l);
     }
     // Insert on each layer from min(level, max_level_) down to 0.
     for (int32_t l = std::min(level, max_level_); l >= 0; --l) {
       std::vector<Neighbor> cands =
-          SearchLayer(data, q, dist, entry, params.ef_construction, l);
+          SearchLayer(rows, q, dist, entry, params.ef_construction, l);
       entry = static_cast<NodeId>(cands.front().id);
 
       const size_t m = MaxDegree(l);
       std::vector<NodeId> neighbors =
-          SelectNeighbors(data, dist, cands, params.M);
+          SelectNeighbors(rows, dist, cands, params.M);
       links_[i][l] = neighbors;
       // Bidirectional links with degree pruning on the neighbor side.
       for (NodeId nb : neighbors) {
@@ -178,14 +174,13 @@ void HnswGraph::Build(const float* data, size_t n,
         if (back.size() > m) {
           std::vector<Neighbor> pruned;
           pruned.reserve(back.size());
-          const float* base = data + static_cast<size_t>(nb) * dim;
+          const float* base = rows.row(static_cast<size_t>(nb));
           for (NodeId x : back) {
-            pruned.push_back(
-                {dist(base, data + static_cast<size_t>(x) * dim),
-                 static_cast<VectorId>(x)});
+            pruned.push_back({dist(base, rows.row(static_cast<size_t>(x))),
+                              static_cast<VectorId>(x)});
           }
           std::sort(pruned.begin(), pruned.end());
-          back = SelectNeighbors(data, dist, pruned, m);
+          back = SelectNeighbors(rows, dist, pruned, m);
         }
       }
     }
@@ -197,7 +192,7 @@ void HnswGraph::Build(const float* data, size_t n,
 }
 
 std::vector<Neighbor> HnswGraph::Search(
-    const float* data, const float* query, const DistanceFunction& dist,
+    const VectorSlice& rows, const float* query, const DistanceFunction& dist,
     size_t k, size_t ef, const std::pair<NodeId, NodeId>* local_filter,
     SearchStats* stats) const {
   std::vector<Neighbor> out;
@@ -205,7 +200,7 @@ std::vector<Neighbor> HnswGraph::Search(
 
   NodeId entry = entry_point_;
   for (int32_t l = max_level_; l > 0; --l) {
-    entry = GreedyStep(data, query, dist, entry, l, stats);
+    entry = GreedyStep(rows, query, dist, entry, l, stats);
   }
 
   auto in_filter = [&](VectorId id) {
@@ -219,7 +214,7 @@ std::vector<Neighbor> HnswGraph::Search(
   size_t beam = std::max(ef, k);
   for (;;) {
     std::vector<Neighbor> cands =
-        SearchLayer(data, query, dist, entry, beam, 0, stats);
+        SearchLayer(rows, query, dist, entry, beam, 0, stats);
     out.clear();
     for (const Neighbor& c : cands) {
       if (!in_filter(c.id)) continue;

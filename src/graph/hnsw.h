@@ -15,6 +15,7 @@
 
 #include "core/distance.h"
 #include "core/types.h"
+#include "core/vector_store.h"
 #include "graph/knn_graph.h"
 #include "graph/search.h"
 #include "util/rng.h"
@@ -48,20 +49,38 @@ class HnswGraph {
  public:
   HnswGraph() = default;
 
-  /// Builds by sequential insertion over row-major `data`.
-  void Build(const float* data, size_t n, const DistanceFunction& dist,
+  /// Builds by sequential insertion over `n` vectors addressed through
+  /// `rows` (local id -> row).
+  void Build(const VectorSlice& rows, size_t n, const DistanceFunction& dist,
              const HnswParams& params);
+
+  /// Convenience overload for a contiguous row-major buffer.
+  void Build(const float* data, size_t n, const DistanceFunction& dist,
+             const HnswParams& params) {
+    Build(VectorSlice(data, dist.dim()), n, dist, params);
+  }
 
   /// k nearest local ids to `query` with beam width ef (clamped up to k).
   /// `local_filter`, when non-null, is a half-open local-id interval
   /// [first, second) that results must lie in. `stats`, when non-null,
   /// accumulates expansion/distance counters for the whole descent.
-  std::vector<Neighbor> Search(const float* data, const float* query,
+  std::vector<Neighbor> Search(const VectorSlice& rows, const float* query,
                                const DistanceFunction& dist, size_t k,
                                size_t ef,
                                const std::pair<NodeId, NodeId>* local_filter
                                = nullptr,
                                SearchStats* stats = nullptr) const;
+
+  /// Convenience overload for a contiguous row-major buffer.
+  std::vector<Neighbor> Search(const float* data, const float* query,
+                               const DistanceFunction& dist, size_t k,
+                               size_t ef,
+                               const std::pair<NodeId, NodeId>* local_filter
+                               = nullptr,
+                               SearchStats* stats = nullptr) const {
+    return Search(VectorSlice(data, dist.dim()), query, dist, k, ef,
+                  local_filter, stats);
+  }
 
   size_t num_nodes() const { return levels_.size(); }
   bool empty() const { return levels_.empty(); }
@@ -76,20 +95,21 @@ class HnswGraph {
  private:
   // Greedy single-entry descent on one layer: repeatedly moves to the
   // closest neighbor until no improvement.
-  NodeId GreedyStep(const float* data, const float* query,
+  NodeId GreedyStep(const VectorSlice& rows, const float* query,
                     const DistanceFunction& dist, NodeId entry, int32_t level,
                     SearchStats* stats = nullptr) const;
 
   // Beam search on one layer; returns up to ef (distance, id) candidates
   // sorted ascending.
-  std::vector<Neighbor> SearchLayer(const float* data, const float* query,
+  std::vector<Neighbor> SearchLayer(const VectorSlice& rows,
+                                    const float* query,
                                     const DistanceFunction& dist, NodeId entry,
                                     size_t ef, int32_t level,
                                     SearchStats* stats = nullptr) const;
 
   // Malkov's neighbor-selection heuristic: greedily keeps candidates that
   // are closer to the base point than to any already-kept neighbor.
-  std::vector<NodeId> SelectNeighbors(const float* data,
+  std::vector<NodeId> SelectNeighbors(const VectorSlice& rows,
                                       const DistanceFunction& dist,
                                       const std::vector<Neighbor>& candidates,
                                       size_t m) const;

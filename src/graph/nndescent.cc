@@ -98,17 +98,16 @@ class NeighborPool {
 
 }  // namespace
 
-KnnGraph BuildNnDescentGraph(const float* data, size_t n,
+KnnGraph BuildNnDescentGraph(const VectorSlice& rows, size_t n,
                              const DistanceFunction& dist,
                              const GraphBuildParams& params,
                              ThreadPool* pool) {
   const size_t degree = std::min(params.degree, n > 1 ? n - 1 : size_t{1});
   if (n <= 2 || n <= degree + 1) {
     // Degenerate sizes: exact is trivial and NNDescent sampling breaks down.
-    return BuildExactKnnGraph(data, n, dist, params.degree);
+    return BuildExactKnnGraph(rows, n, dist, params.degree);
   }
 
-  const size_t dim = dist.dim();
   const size_t sample_size =
       std::max<size_t>(1, static_cast<size_t>(params.rho * degree));
 
@@ -129,7 +128,7 @@ KnnGraph BuildNnDescentGraph(const float* data, size_t n,
         picks.push_back(u);
       }
       for (NodeId u : picks) {
-        pools[v].Insert(dist(data + v * dim, data + u * dim), u);
+        pools[v].Insert(dist(rows.row(v), rows.row(u)), u);
       }
     }
   }
@@ -215,14 +214,14 @@ KnnGraph BuildNnDescentGraph(const float* data, size_t n,
         for (size_t j = i + 1; j < cand_new.size(); ++j) {
           NodeId p2 = cand_new[j];
           if (p1 == p2) continue;
-          float d = dist(data + p1 * dim, data + p2 * dim);
+          float d = dist(rows.row(p1), rows.row(p2));
           try_update(p1, p2, d);
           try_update(p2, p1, d);
         }
         // new x old
         for (NodeId p2 : cand_old) {
           if (p1 == p2) continue;
-          float d = dist(data + p1 * dim, data + p2 * dim);
+          float d = dist(rows.row(p1), rows.row(p2));
           try_update(p1, p2, d);
           try_update(p2, p1, d);
         }
@@ -264,7 +263,7 @@ KnnGraph BuildNnDescentGraph(const float* data, size_t n,
   return graph;
 }
 
-KnnGraph BuildKnnGraph(const float* data, size_t n,
+KnnGraph BuildKnnGraph(const VectorSlice& rows, size_t n,
                        const DistanceFunction& dist,
                        const GraphBuildParams& params, ThreadPool* pool) {
   if (n <= params.exact_threshold) {
@@ -273,9 +272,9 @@ KnnGraph BuildKnnGraph(const float* data, size_t n,
             "mbi_exact_graph_builds_total",
             "blocks built with the O(n^2) exact kNN-graph builder");
     exact_builds->Increment();
-    return BuildExactKnnGraph(data, n, dist, params.degree);
+    return BuildExactKnnGraph(rows, n, dist, params.degree);
   }
-  return BuildNnDescentGraph(data, n, dist, params, pool);
+  return BuildNnDescentGraph(rows, n, dist, params, pool);
 }
 
 }  // namespace mbi

@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "core/distance.h"
+#include "core/vector_store.h"
 #include "graph/builder_params.h"
 #include "graph/knn_graph.h"
 
@@ -17,22 +18,38 @@ namespace mbi {
 
 class ThreadPool;
 
-/// Builds an approximate kNN graph over `n` row-major vectors using
-/// NNDescent local joins. If `pool` is non-null the join phase runs on it.
+/// Builds an approximate kNN graph over `n` vectors addressed through `rows`
+/// using NNDescent local joins. If `pool` is non-null the join phase runs on
+/// it.
 ///
 /// The graph converges when an iteration performs fewer than
 /// params.delta * n * degree pool updates, or after params.max_iterations.
-KnnGraph BuildNnDescentGraph(const float* data, size_t n,
+KnnGraph BuildNnDescentGraph(const VectorSlice& rows, size_t n,
                              const DistanceFunction& dist,
                              const GraphBuildParams& params,
                              ThreadPool* pool = nullptr);
 
 /// Dispatches to exact construction when n <= params.exact_threshold and to
 /// NNDescent otherwise. This is the builder MBI and SF call for each block.
-KnnGraph BuildKnnGraph(const float* data, size_t n,
+KnnGraph BuildKnnGraph(const VectorSlice& rows, size_t n,
                        const DistanceFunction& dist,
                        const GraphBuildParams& params,
                        ThreadPool* pool = nullptr);
+
+/// Convenience overloads for a contiguous row-major buffer.
+inline KnnGraph BuildNnDescentGraph(const float* data, size_t n,
+                                    const DistanceFunction& dist,
+                                    const GraphBuildParams& params,
+                                    ThreadPool* pool = nullptr) {
+  return BuildNnDescentGraph(VectorSlice(data, dist.dim()), n, dist, params,
+                             pool);
+}
+inline KnnGraph BuildKnnGraph(const float* data, size_t n,
+                              const DistanceFunction& dist,
+                              const GraphBuildParams& params,
+                              ThreadPool* pool = nullptr) {
+  return BuildKnnGraph(VectorSlice(data, dist.dim()), n, dist, params, pool);
+}
 
 }  // namespace mbi
 

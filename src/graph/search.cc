@@ -66,8 +66,9 @@ void GraphSearcher::Search(const VectorStore& store, const KnnGraph& graph,
   // full, C is pruned to the M_C nearest (Algorithm 2 lines 16-17).
   const size_t bounded_capacity = std::max(params.max_candidates, params.k);
   const DistanceFunction& dist = store.distance();
-  const float* base = store.GetVector(range.begin);
-  const size_t dim = store.dim();
+  // Per-access lookup instead of a cached base pointer: the store is chunked,
+  // so the slice [range.begin, range.end) need not be contiguous in memory.
+  const VectorSlice rows(store, range.begin);
 
   pool_.clear();
   pool_.reserve(bounded_capacity + 1);
@@ -81,7 +82,7 @@ void GraphSearcher::Search(const VectorStore& store, const KnnGraph& graph,
   for (size_t i = 0; i < entries; ++i) {
     NodeId s = static_cast<NodeId>(rng->NextBounded(n));
     if (queued_.TestAndSet(s)) continue;
-    float d = dist(query, base + static_cast<size_t>(s) * dim);
+    float d = dist(query, rows.row(static_cast<size_t>(s)));
     ++local_stats.distance_evaluations;
     PoolInsert(d, s, bounded_capacity);
   }
@@ -114,16 +115,21 @@ void GraphSearcher::Search(const VectorStore& store, const KnnGraph& graph,
     }
 
     // Lines 8-11: neighbor expansion, range-restricted once |R| >= k.
+    // The bound must *loosen* max(R) by epsilon regardless of sign: inner-
+    // product distances are negative, where multiplying by epsilon > 1 would
+    // tighten the bound instead.
     const bool restrict_range = results->Full();
-    const float bound = restrict_range
-                            ? params.epsilon * results->WorstDistance()
-                            : 0.0f;
+    float bound = 0.0f;
+    if (restrict_range) {
+      const float worst = results->WorstDistance();
+      bound = worst >= 0.0f ? params.epsilon * worst : worst / params.epsilon;
+    }
     const size_t capacity = restrict_range ? bounded_capacity : SIZE_MAX;
     size_t min_inserted = SIZE_MAX;
     for (NodeId nb : graph.Neighbors(v)) {
       if (nb == kInvalidNode) break;
       if (queued_.Test(nb)) continue;
-      float d = dist(query, base + static_cast<size_t>(nb) * dim);
+      float d = dist(query, rows.row(static_cast<size_t>(nb)));
       ++local_stats.distance_evaluations;
       if (restrict_range && !(d < bound)) {
         ++local_stats.pool_rejects;

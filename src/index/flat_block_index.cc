@@ -21,11 +21,16 @@ void ExactScan(const VectorStore& store, const IdRange& range,
 
   const DistanceFunction& dist = store.distance();
   const size_t dim = store.dim();
-  const float* base = store.GetVector(scan.begin);
   const size_t m = static_cast<size_t>(scan.size());
-  for (size_t i = 0; i < m; ++i) {
-    float d = dist(query, base + i * dim);
-    results->Push(d, scan.begin + static_cast<VectorId>(i));
+  // Walk chunk-contiguous runs so the inner loop keeps its linear access
+  // pattern despite the chunked store.
+  for (VectorId id = scan.begin; id < scan.end;) {
+    const VectorStore::ContiguousRun run = store.Run(id, scan.end);
+    for (size_t i = 0; i < run.count; ++i) {
+      float d = dist(query, run.data + i * dim);
+      results->Push(d, id + static_cast<VectorId>(i));
+    }
+    id += static_cast<VectorId>(run.count);
   }
   static obs::Counter* scans = obs::MetricRegistry::Default().GetCounter(
       "mbi_search_exact_scans_total",

@@ -12,7 +12,7 @@ GraphBlockIndex::GraphBlockIndex(const VectorStore& store, const IdRange& range,
     : range_(range) {
   MBI_CHECK(!range.Empty());
   MBI_CHECK(static_cast<size_t>(range.end) <= store.size());
-  graph_ = BuildKnnGraph(store.GetVector(range.begin),
+  graph_ = BuildKnnGraph(VectorSlice(store, range.begin),
                          static_cast<size_t>(range.size()), store.distance(),
                          params, pool);
 }

@@ -17,7 +17,7 @@ HnswBlockIndex::HnswBlockIndex(const VectorStore& store, const IdRange& range,
   hp.M = std::max<size_t>(4, params.degree / 2);
   hp.ef_construction = std::max<size_t>(60, params.degree * 3);
   hp.seed = params.seed;
-  hnsw_.Build(store.GetVector(range.begin),
+  hnsw_.Build(VectorSlice(store, range.begin),
               static_cast<size_t>(range.size()), store.distance(), hp);
 }
 
@@ -39,7 +39,7 @@ void HnswBlockIndex::Search(const VectorStore& store, const float* query,
   }
 
   std::vector<Neighbor> hits = hnsw_.Search(
-      store.GetVector(range_.begin), query, store.distance(), params.k,
+      VectorSlice(store, range_.begin), query, store.distance(), params.k,
       params.max_candidates, filter_ptr, stats);
   for (const Neighbor& nb : hits) {
     results->Push(nb.distance, range_.begin + nb.id);

@@ -43,9 +43,10 @@ struct BuildMetrics {
           reg.GetGauge("mbi_build_seconds_total",
                        "cumulative wall seconds spent building blocks"),
           reg.GetGauge("mbi_index_blocks",
-                       "materialized full blocks in the newest MbiIndex"),
+                       "materialized full blocks across all live MbiIndex "
+                       "instances"),
           reg.GetGauge("mbi_index_vectors",
-                       "vectors stored in the newest MbiIndex"),
+                       "vectors stored across all live MbiIndex instances"),
       };
     }();
     return m;
@@ -111,9 +112,15 @@ MbiIndex::MbiIndex(size_t dim, Metric metric, const MbiParams& params)
   if (params_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(params_.num_threads);
   }
+  snapshot_ = std::make_shared<const MbiSnapshot>();
 }
 
-MbiIndex::~MbiIndex() = default;
+MbiIndex::~MbiIndex() {
+  // Withdraw this instance's contribution from the aggregate gauges.
+  const BuildMetrics& metrics = BuildMetrics::Get();
+  metrics.index_vectors->Add(-gauge_vectors_);
+  metrics.index_blocks->Add(-gauge_blocks_);
+}
 
 Status MbiIndex::Add(const float* vector, Timestamp t) {
   MBI_RETURN_IF_ERROR(store_.Append(vector, t));
@@ -129,7 +136,9 @@ Status MbiIndex::Add(const float* vector, Timestamp t) {
     metrics.cascade_depth->Observe(static_cast<double>(cascade.size()));
     BuildNodes(cascade);
   }
-  metrics.index_vectors->Set(static_cast<double>(store_.size()));
+  const double nv = static_cast<double>(store_.size());
+  metrics.index_vectors->Add(nv - gauge_vectors_);
+  gauge_vectors_ = nv;
   return Status::Ok();
 }
 
@@ -144,7 +153,9 @@ Status MbiIndex::AddBatch(const float* vectors, const Timestamp* timestamps,
   MBI_RETURN_IF_ERROR(store_.AppendBatch(vectors, timestamps, count));
   const BuildMetrics& metrics = BuildMetrics::Get();
   metrics.vectors_added->Increment(count);
-  metrics.index_vectors->Set(static_cast<double>(store_.size()));
+  const double nv = static_cast<double>(store_.size());
+  metrics.index_vectors->Add(nv - gauge_vectors_);
+  gauge_vectors_ = nv;
   BuildPendingBlocks();
   return Status::Ok();
 }
@@ -194,9 +205,49 @@ void MbiIndex::BuildNodes(const std::vector<TreeNode>& nodes) {
               static_cast<int64_t>(first + i));
   }
   const double elapsed = timer.ElapsedSeconds();
-  build_seconds_ += elapsed;
+  build_seconds_.fetch_add(elapsed, std::memory_order_relaxed);
   metrics.total_build_seconds->Add(elapsed);
-  metrics.index_blocks->Set(static_cast<double>(blocks_.size()));
+  PublishSnapshot();
+}
+
+void MbiIndex::PublishSnapshot() {
+  auto snap = std::make_shared<MbiSnapshot>();
+  // blocks_ holds exactly the full blocks of the covered prefix; the covered
+  // bound is whatever multiple of S_L those blocks span. Invariant:
+  // blocks_.size() == BlocksForLeaves(covered_end / leaf_size).
+  const int64_t full_leaves =
+      static_cast<int64_t>(store_.size()) / params_.leaf_size;
+  snap->covered_end = full_leaves * params_.leaf_size;
+  MBI_DCHECK(static_cast<int64_t>(blocks_.size()) ==
+             BlockTreeShape::BlocksForLeaves(full_leaves));
+  snap->blocks = blocks_;
+  {
+    std::shared_ptr<const MbiSnapshot> published = std::move(snap);
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_.swap(published);
+    // `published` (the retired snapshot) is released outside the lock.
+  }
+
+  const BuildMetrics& metrics = BuildMetrics::Get();
+  const double nb = static_cast<double>(blocks_.size());
+  metrics.index_blocks->Add(nb - gauge_blocks_);
+  gauge_blocks_ = nb;
+  const double nv = static_cast<double>(store_.size());
+  metrics.index_vectors->Add(nv - gauge_vectors_);
+  gauge_vectors_ = nv;
+}
+
+ReadView MbiIndex::AcquireReadView() const {
+  ReadView view;
+  // Order matters: snapshot first, then committed size. The writer commits
+  // vectors *before* publishing blocks that cover them, so loading in the
+  // reverse order here guarantees num_vectors >= snapshot->covered_end.
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    view.snapshot = snapshot_;
+  }
+  view.num_vectors = store_.size();
+  return view;
 }
 
 std::vector<SelectedBlock> MbiIndex::SelectSearchBlocks(
@@ -211,11 +262,46 @@ std::vector<SelectedBlock> MbiIndex::SelectSearchBlocks(
 
 std::vector<SelectedBlock> MbiIndex::SelectSearchBlocksForRange(
     const IdRange& range, double tau, std::vector<SelectionStep>* steps) const {
+  const ReadView view = AcquireReadView();
+  return SelectForView(view.snapshot->covered_end,
+                       static_cast<int64_t>(view.num_vectors), range, tau,
+                       steps);
+}
+
+std::vector<SelectedBlock> MbiIndex::SelectForView(
+    int64_t covered_end, int64_t num_vectors, const IdRange& range, double tau,
+    std::vector<SelectionStep>* steps) const {
   // Blocks are contiguous id slices, so both the query and each block are
   // intervals on the id axis; the overlap ratio is a count fraction.
-  return SelectBlocks(
-      shape(), TimeWindow{range.begin, range.end}, tau,
-      [](const IdRange& r) { return TimeWindow{r.begin, r.end}; }, steps);
+  //
+  // Selection runs over the tree of the *covered* prefix only — those blocks
+  // are guaranteed to exist in the view — and the committed tail
+  // [covered_end, num_vectors) is appended as one graph-less pseudo-leaf,
+  // exactly like the partial tail leaf of the serial index.
+  std::vector<SelectedBlock> out;
+  if (covered_end > 0 && range.begin < covered_end) {
+    out = SelectBlocks(
+        BlockTreeShape(covered_end, params_.leaf_size),
+        TimeWindow{range.begin, range.end}, tau,
+        [](const IdRange& r) { return TimeWindow{r.begin, r.end}; }, steps);
+  }
+  const IdRange tail{covered_end, num_vectors};
+  if (!tail.Empty() && range.end > tail.begin && range.begin < tail.end) {
+    const int64_t overlap = std::min(range.end, tail.end) -
+                            std::max(range.begin, tail.begin);
+    SelectedBlock sel;
+    sel.node = TreeNode{0, covered_end / params_.leaf_size};
+    sel.range = tail;
+    sel.has_graph = false;
+    sel.overlap_ratio =
+        static_cast<double>(overlap) / static_cast<double>(tail.size());
+    if (steps != nullptr) {
+      steps->push_back(SelectionStep{sel.node, sel.range, sel.overlap_ratio,
+                                     SelectionDecision::kSelectedLeaf});
+    }
+    out.push_back(sel);
+  }
+  return out;
 }
 
 SearchResult MbiIndex::Search(const float* query, const TimeWindow& window,
@@ -230,6 +316,15 @@ SearchResult MbiIndex::SearchWithTau(const float* query,
                                      const SearchParams& search, double tau,
                                      QueryContext* ctx, MbiQueryStats* stats,
                                      obs::QueryTrace* trace) const {
+  return SearchView(AcquireReadView(), query, window, search, tau, ctx, stats,
+                    trace);
+}
+
+SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
+                                  const TimeWindow& window,
+                                  const SearchParams& search, double tau,
+                                  QueryContext* ctx, MbiQueryStats* stats,
+                                  obs::QueryTrace* trace) const {
   const QueryMetrics& metrics = QueryMetrics::Get();
   metrics.queries->Increment();
   WallTimer query_timer;
@@ -246,10 +341,13 @@ SearchResult MbiIndex::SearchWithTau(const float* query,
   // the caller's MbiQueryStats keeps its accumulate-across-queries contract.
   MbiQueryStats qstats;
 
-  // Map the time window to its id range once (Algorithm 1 line 1); all
+  // Map the time window to its id range once (Algorithm 1 line 1), bounded
+  // by the view's committed prefix so one size governs the whole query; all
   // per-block filtering happens on ids.
-  const IdRange qrange = store_.empty() ? IdRange{0, 0}
-                                        : store_.FindRange(window);
+  const IdRange qrange =
+      view.num_vectors == 0
+          ? IdRange{0, 0}
+          : store_.FindRangeInPrefix(window, view.num_vectors);
   if (trace != nullptr) trace->id_range = qrange;
 
   if (qrange.Empty()) {
@@ -260,10 +358,13 @@ SearchResult MbiIndex::SearchWithTau(const float* query,
     return {};
   }
   metrics.selectivity->Observe(static_cast<double>(qrange.size()) /
-                               static_cast<double>(store_.size()));
+                               static_cast<double>(view.num_vectors));
 
-  const std::vector<SelectedBlock> selected = SelectSearchBlocksForRange(
-      qrange, tau, trace != nullptr ? &trace->selection : nullptr);
+  const MbiSnapshot& snap = *view.snapshot;
+  const std::vector<SelectedBlock> selected =
+      SelectForView(snap.covered_end, static_cast<int64_t>(view.num_vectors),
+                    qrange, tau, trace != nullptr ? &trace->selection
+                                                  : nullptr);
 
   for (const SelectedBlock& sel : selected) {
     // If the block lies entirely inside the query range, drop the filter:
@@ -309,14 +410,16 @@ SearchResult MbiIndex::SearchWithTau(const float* query,
     size_t block_hits = 0;
     WallTimer block_timer;
     if (use_graph) {
-      const int64_t idx = shape().PostorderIndex(sel.node);
-      MBI_DCHECK(idx >= 0 && idx < static_cast<int64_t>(blocks_.size()));
+      const int64_t idx =
+          BlockTreeShape(snap.covered_end, params_.leaf_size)
+              .PostorderIndex(sel.node);
+      MBI_DCHECK(idx >= 0 && idx < static_cast<int64_t>(snap.blocks.size()));
       // Each block runs an *independent* Algorithm 2 query whose results are
       // then unioned (Algorithm 4 lines 6/8). Sharing one result set would
       // let a previous block's hits range-restrict this block's search from
       // its very first (random) hop, stalling navigation.
       TopKHeap block_heap(search.k);
-      blocks_[static_cast<size_t>(idx)]->Search(
+      snap.blocks[static_cast<size_t>(idx)]->Search(
           store_, query, block_search, filter, ctx->searcher(), ctx->rng(),
           &block_heap, &block_stats);
       block_hits = block_heap.contents().size();
@@ -378,14 +481,19 @@ SearchResult MbiIndex::SearchAll(const float* query, const SearchParams& search,
 }
 
 MbiStats MbiIndex::GetStats() const {
+  // Stats come from a pinned view so they are mutually consistent even while
+  // the writer runs.
+  const ReadView view = AcquireReadView();
+  const MbiSnapshot& snap = *view.snapshot;
   MbiStats out;
-  out.num_vectors = store_.size();
-  out.num_blocks = blocks_.size();
-  out.store_bytes = store_.MemoryBytes();
-  out.cumulative_build_seconds = build_seconds_;
+  out.num_vectors = view.num_vectors;
+  out.num_blocks = snap.blocks.size();
+  out.store_bytes =
+      view.num_vectors * (store_.dim() * sizeof(float) + sizeof(Timestamp));
+  out.cumulative_build_seconds = build_seconds_.load(std::memory_order_relaxed);
 
   std::vector<bool> level_seen;
-  const BlockTreeShape s = shape();
+  const BlockTreeShape s(snap.covered_end, params_.leaf_size);
   for (const TreeNode& node : s.AllFullNodes()) {
     if (static_cast<size_t>(node.height) >= level_seen.size()) {
       level_seen.resize(node.height + 1, false);
@@ -394,7 +502,7 @@ MbiStats MbiIndex::GetStats() const {
   }
   out.num_levels = static_cast<size_t>(
       std::count(level_seen.begin(), level_seen.end(), true));
-  for (const auto& b : blocks_) out.index_bytes += b->MemoryBytes();
+  for (const auto& b : snap.blocks) out.index_bytes += b->MemoryBytes();
   return out;
 }
 

@@ -10,7 +10,9 @@
 #ifndef MBI_MBI_MBI_INDEX_H_
 #define MBI_MBI_MBI_INDEX_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,35 @@ class QueryContext {
   Rng rng_;
 };
 
+/// An immutable view of the block forest, swapped in atomically by the
+/// writer after every merge cascade. Readers always see a consistent pair:
+/// blocks covering exactly ids [0, covered_end) plus whatever tail of
+/// committed vectors exists beyond it (exact-scanned at query time).
+struct MbiSnapshot {
+  /// Ids below this bound are covered by the full blocks in `blocks`.
+  /// Always a multiple of leaf_size.
+  int64_t covered_end = 0;
+
+  /// Materialized full blocks in creation (postorder) order; entry i is the
+  /// block with postorder index i in BlockTreeShape(covered_end, leaf_size).
+  std::vector<std::shared_ptr<const BlockKnnIndex>> blocks;
+};
+
+/// A pinned read view: one snapshot plus the store size committed at acquire
+/// time (num_vectors >= snapshot->covered_end always holds — the writer
+/// commits vectors before publishing the blocks that cover them). Queries on
+/// the same view return identical results regardless of concurrent writes.
+struct ReadView {
+  size_t num_vectors = 0;
+  std::shared_ptr<const MbiSnapshot> snapshot;
+};
+
+/// Concurrency contract: one writer thread may call Add/AddBatch while any
+/// number of reader threads call the const query methods (Search,
+/// SelectSearchBlocks, Explain, GetStats, ...). Readers never block the
+/// writer and vice versa; each query pins a ReadView and sees the committed
+/// prefix it describes. Multiple concurrent writers still require external
+/// synchronization, as do Save/Load concurrent with writes.
 class MbiIndex {
  public:
   /// Creates an empty index for `dim`-dimensional vectors under `metric`.
@@ -132,6 +163,21 @@ class MbiIndex {
                              QueryContext* ctx,
                              MbiQueryStats* stats = nullptr,
                              obs::QueryTrace* trace = nullptr) const;
+
+  /// Pins the current committed state for a sequence of consistent reads.
+  /// Loads the snapshot first and the committed size second, so the size is
+  /// always >= the snapshot's covered prefix.
+  ReadView AcquireReadView() const;
+
+  /// Search against an explicitly pinned view. Given the same view, the same
+  /// query arguments and an equally seeded QueryContext, results are
+  /// identical no matter what the writer does in the meantime — the basis of
+  /// the concurrent/serial parity tests.
+  SearchResult SearchView(const ReadView& view, const float* query,
+                          const TimeWindow& window, const SearchParams& search,
+                          double tau, QueryContext* ctx,
+                          MbiQueryStats* stats = nullptr,
+                          obs::QueryTrace* trace = nullptr) const;
 
   /// Convenience: unrestricted kNN (window = all time).
   SearchResult SearchAll(const float* query, const SearchParams& search,
@@ -191,11 +237,40 @@ class MbiIndex {
   // Builds the given nodes (creation order) and appends them to blocks_.
   void BuildNodes(const std::vector<TreeNode>& nodes);
 
+  // Swaps in a fresh MbiSnapshot reflecting blocks_ (writer side), and
+  // refreshes the process-wide index gauges.
+  void PublishSnapshot();
+
+  // Algorithm 4 selection against an explicit (covered_end, num_vectors)
+  // view: tree selection over the covered prefix plus the committed tail
+  // [covered_end, num_vectors) as one graph-less pseudo-leaf.
+  std::vector<SelectedBlock> SelectForView(
+      int64_t covered_end, int64_t num_vectors, const IdRange& range,
+      double tau, std::vector<SelectionStep>* steps) const;
+
   MbiParams params_;
   VectorStore store_;
-  std::vector<std::unique_ptr<BlockKnnIndex>> blocks_;  // creation order
+
+  // Writer's working copy, in creation order. Blocks are append-only and
+  // individually immutable once built; snapshots share ownership of them.
+  std::vector<std::shared_ptr<const BlockKnnIndex>> blocks_;
+
+  // The published snapshot. Guarded by a mutex rather than
+  // std::atomic<shared_ptr>: libstdc++'s _Sp_atomic unlocks its spinlock in
+  // load() with a relaxed RMW, which leaves no formal happens-before edge to
+  // the writer's pointer swap (TSan reports the race). The critical section
+  // here is a single shared_ptr copy/swap, so contention is negligible.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const MbiSnapshot> snapshot_;
+
   std::unique_ptr<ThreadPool> pool_;                    // null when serial
-  double build_seconds_ = 0.0;
+  std::atomic<double> build_seconds_{0.0};  // atomic: GetStats may race Add
+
+  // Last values this instance contributed to the process-wide
+  // mbi_index_vectors / mbi_index_blocks gauges (delta-aggregated so
+  // coexisting MbiIndex instances don't clobber each other).
+  double gauge_vectors_ = 0.0;
+  double gauge_blocks_ = 0.0;
 };
 
 }  // namespace mbi

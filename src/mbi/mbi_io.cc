@@ -33,12 +33,25 @@ Status MbiIndex::Save(const std::string& path) const {
   MBI_RETURN_IF_ERROR(w.Write<uint64_t>(params_.build.max_iterations));
   MBI_RETURN_IF_ERROR(w.Write<uint64_t>(params_.build.seed));
 
-  // Store contents.
-  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(store_.size()));
-  MBI_RETURN_IF_ERROR(
-      w.WriteBytes(store_.data(), store_.size() * store_.dim() * sizeof(float)));
-  MBI_RETURN_IF_ERROR(w.WriteBytes(store_.timestamps(),
-                                   store_.size() * sizeof(Timestamp)));
+  // Store contents, written chunk run by chunk run (the chunked store has no
+  // single contiguous buffer). The on-disk layout is unchanged: all vector
+  // data first, then all timestamps.
+  const size_t n = store_.size();
+  MBI_RETURN_IF_ERROR(w.Write<uint64_t>(n));
+  for (VectorId id = 0; id < static_cast<VectorId>(n);) {
+    const VectorStore::ContiguousRun run =
+        store_.Run(id, static_cast<VectorId>(n));
+    MBI_RETURN_IF_ERROR(
+        w.WriteBytes(run.data, run.count * store_.dim() * sizeof(float)));
+    id += static_cast<VectorId>(run.count);
+  }
+  for (VectorId id = 0; id < static_cast<VectorId>(n);) {
+    const VectorStore::ContiguousRun run =
+        store_.Run(id, static_cast<VectorId>(n));
+    MBI_RETURN_IF_ERROR(
+        w.WriteBytes(run.timestamps, run.count * sizeof(Timestamp)));
+    id += static_cast<VectorId>(run.count);
+  }
 
   // Blocks.
   MBI_RETURN_IF_ERROR(w.Write<uint64_t>(blocks_.size()));
@@ -107,6 +120,7 @@ Result<std::unique_ptr<MbiIndex>> MbiIndex::Load(const std::string& path) {
     MBI_RETURN_IF_ERROR(block->Load(&r));
     index->blocks_.push_back(std::move(block));
   }
+  index->PublishSnapshot();
   MBI_RETURN_IF_ERROR(r.Close());
   return Result<std::unique_ptr<MbiIndex>>(std::move(index));
 }

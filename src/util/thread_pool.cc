@@ -36,6 +36,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -65,11 +70,22 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
-    {
+    // RAII: the decrement must run even if the task throws — a skipped
+    // decrement would deadlock Wait() forever. The first exception is kept
+    // for Wait() to rethrow; later ones are dropped.
+    struct InFlightGuard {
+      ThreadPool* pool;
+      ~InFlightGuard() {
+        std::unique_lock<std::mutex> lock(pool->mu_);
+        --pool->in_flight_;
+        if (pool->in_flight_ == 0) pool->all_done_.notify_all();
+      }
+    } guard{this};
+    try {
+      task();
+    } catch (...) {
       std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
     }
   }
 }

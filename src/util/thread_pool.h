@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,7 +35,9 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all previously submitted tasks have completed.
+  /// Blocks until all previously submitted tasks have completed. If any
+  /// task threw, the first captured exception is rethrown here (later ones
+  /// are dropped); the pool stays usable afterwards.
   void Wait();
 
   /// Runs fn(i) for each i in [0, n), distributed over the workers, and
@@ -56,6 +59,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  // first task exception since last Wait
 };
 
 }  // namespace mbi

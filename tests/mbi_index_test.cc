@@ -11,6 +11,7 @@
 #include "eval/recall.h"
 #include "index/graph_block_index.h"
 #include "mbi/mbi_index.h"
+#include "obs/metrics.h"
 
 namespace mbi {
 namespace {
@@ -282,6 +283,39 @@ TEST(MbiIndexTest, SelectSearchBlocksMatchesShapeSelection) {
   int64_t covered_end = sel.back().range.end;
   EXPECT_LE(covered_begin, 10);
   EXPECT_GE(covered_end, 70);
+}
+
+TEST(MbiIndexTest, GaugesAggregateAcrossCoexistingInstances) {
+  // mbi_index_vectors / mbi_index_blocks must report the sum over all live
+  // instances, not whichever instance touched them last, and a destroyed
+  // instance must withdraw exactly its own contribution.
+  obs::Gauge* vectors =
+      obs::MetricRegistry::Default().GetGauge("mbi_index_vectors");
+  obs::Gauge* blocks =
+      obs::MetricRegistry::Default().GetGauge("mbi_index_blocks");
+  const double v0 = vectors->Value();
+  const double b0 = blocks->Value();
+
+  const size_t kN = 96, kDim = 4;
+  SyntheticData data = MakeData(kN, kDim, 5);
+  auto a = std::make_unique<MbiIndex>(kDim, Metric::kL2, SmallParams(16));
+  ASSERT_TRUE(
+      a->AddBatch(data.vectors.data(), data.timestamps.data(), kN).ok());
+  EXPECT_DOUBLE_EQ(vectors->Value() - v0, 96);
+  const double blocks_a = blocks->Value() - b0;
+  EXPECT_GT(blocks_a, 0);
+
+  auto b = std::make_unique<MbiIndex>(kDim, Metric::kL2, SmallParams(16));
+  ASSERT_TRUE(
+      b->AddBatch(data.vectors.data(), data.timestamps.data(), 48).ok());
+  EXPECT_DOUBLE_EQ(vectors->Value() - v0, 96 + 48);
+  EXPECT_GT(blocks->Value() - b0, blocks_a);
+
+  a.reset();
+  EXPECT_DOUBLE_EQ(vectors->Value() - v0, 48);
+  b.reset();
+  EXPECT_DOUBLE_EQ(vectors->Value() - v0, 0);
+  EXPECT_DOUBLE_EQ(blocks->Value() - b0, 0);
 }
 
 TEST(MbiIndexTest, SearchAllEqualsWholeWindow) {

@@ -189,6 +189,52 @@ TEST_F(SearchFixture, EmptyWindowReturnsNothing) {
   EXPECT_TRUE(got.empty());
 }
 
+// Regression for the epsilon range restriction with signed distances: the
+// bound must *loosen* max(R) under every metric. Inner-product distances are
+// negative, where multiplying by epsilon > 1 used to tighten the bound and
+// reject nearly all neighbors once R filled up.
+class EpsilonMetricTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(EpsilonMetricTest, EpsilonKeepsRecallForEveryMetric) {
+  const Metric metric = GetParam();
+  const size_t n = 800, dim = 8;
+  SyntheticParams gen;
+  gen.dim = dim;
+  gen.seed = 99;
+  SyntheticData data = GenerateSynthetic(gen, n);
+  VectorStore store(dim, metric);
+  ASSERT_TRUE(
+      store.AppendBatch(data.vectors.data(), data.timestamps.data(), n).ok());
+  KnnGraph graph =
+      BuildExactKnnGraph(data.vectors.data(), n, store.distance(), 14);
+  std::vector<float> queries = GenerateQueries(gen, 10);
+
+  SearchParams p;
+  p.k = 10;
+  p.max_candidates = 64;
+  p.epsilon = 1.3f;
+  p.num_entry_points = 6;
+  const TimeWindow w{50, 750};
+
+  GraphSearcher searcher;
+  double total = 0;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const float* q = queries.data() + qi * dim;
+    const IdRange filter = store.FindRange(w);
+    TopKHeap heap(p.k);
+    Rng rng(7);
+    searcher.Search(store, graph, IdRange{0, static_cast<VectorId>(n)}, q, p,
+                    &filter, &rng, &heap);
+    SearchResult truth = BsbfIndex::Query(store, q, p.k, w);
+    total += RecallAtK(heap.ExtractSorted(), truth, p.k);
+  }
+  EXPECT_GE(total / 10, 0.8) << "metric " << static_cast<int>(metric);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, EpsilonMetricTest,
+                         ::testing::Values(Metric::kL2, Metric::kAngular,
+                                           Metric::kInnerProduct));
+
 TEST(GraphSearcherTest, EmptyRangeIsNoop) {
   VectorStore store(4, Metric::kL2);
   KnnGraph graph(0, 4);

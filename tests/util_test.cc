@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -210,6 +211,44 @@ TEST(ThreadPoolTest, SingleThreadPoolWorks) {
 
 TEST(ThreadPoolTest, DefaultThreadsAtLeastOne) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool must stay usable: the failed task's in_flight_ decrement ran
+  // (pre-fix this deadlocked or terminated) and the error slot was cleared.
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(64, [&](size_t i) {
+      if (i == 17) throw std::invalid_argument("bad index");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "bad index");
+  }
+  // All non-throwing iterations still ran: one failure poisons the batch's
+  // result, not its siblings.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPoolTest, OnlyFirstOfManyExceptionsSurvives) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("each task throws"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // later exceptions were dropped; no stale rethrow
 }
 
 // ---------------------------------------------------------------- Timer

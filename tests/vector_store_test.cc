@@ -114,5 +114,101 @@ TEST(VectorStoreTest, MemoryBytesCountsDataAndTimestamps) {
   EXPECT_EQ(store.MemoryBytes(), 4 * sizeof(float) + sizeof(Timestamp));
 }
 
+TEST(VectorStoreTest, ReadsAcrossManyChunksAreCorrect) {
+  // Tiny chunks force many chunk boundaries and several table growths.
+  constexpr size_t kDim = 3;
+  VectorStore store(kDim, Metric::kL2, /*chunk_capacity=*/8);
+  for (size_t i = 0; i < 1000; ++i) {
+    float v[kDim] = {float(i), float(i) + 0.5f, -float(i)};
+    ASSERT_TRUE(store.Append(v, static_cast<Timestamp>(i)).ok());
+  }
+  ASSERT_EQ(store.size(), 1000u);
+  for (size_t i = 0; i < 1000; ++i) {
+    const float* v = store.GetVector(static_cast<VectorId>(i));
+    EXPECT_FLOAT_EQ(v[0], float(i));
+    EXPECT_FLOAT_EQ(v[1], float(i) + 0.5f);
+    EXPECT_FLOAT_EQ(v[2], -float(i));
+    EXPECT_EQ(store.GetTimestamp(static_cast<VectorId>(i)),
+              static_cast<Timestamp>(i));
+  }
+}
+
+TEST(VectorStoreTest, PointersStayValidWhileStoreGrows) {
+  // The single-writer/multi-reader contract: a pointer obtained from
+  // GetVector must never dangle, no matter how much is appended afterwards.
+  constexpr size_t kDim = 4;
+  VectorStore store(kDim, Metric::kL2, /*chunk_capacity=*/8);
+  float v[kDim] = {1, 2, 3, 4};
+  ASSERT_TRUE(store.Append(v, 0).ok());
+  const float* early = store.GetVector(0);
+  for (size_t i = 1; i < 5000; ++i) {
+    float w[kDim] = {float(i), 0, 0, 0};
+    ASSERT_TRUE(store.Append(w, static_cast<Timestamp>(i)).ok());
+  }
+  // `early` still points at row 0's storage.
+  EXPECT_FLOAT_EQ(early[0], 1);
+  EXPECT_FLOAT_EQ(early[3], 4);
+  EXPECT_EQ(early, store.GetVector(0));
+}
+
+TEST(VectorStoreTest, RunWalksWholeStoreInChunkSizedPieces) {
+  constexpr size_t kDim = 2;
+  constexpr size_t kChunk = 8;
+  VectorStore store(kDim, Metric::kL2, kChunk);
+  for (size_t i = 0; i < 50; ++i) {
+    float v[kDim] = {float(i), float(2 * i)};
+    ASSERT_TRUE(store.Append(v, static_cast<Timestamp>(i)).ok());
+  }
+  size_t covered = 0;
+  for (VectorId id = 0; id < 50;) {
+    const VectorStore::ContiguousRun run = store.Run(id, 50);
+    ASSERT_GT(run.count, 0u);
+    EXPECT_LE(run.count, kChunk);
+    for (size_t i = 0; i < run.count; ++i) {
+      EXPECT_FLOAT_EQ(run.data[i * kDim], float(id + i));
+      EXPECT_EQ(run.timestamps[i], static_cast<Timestamp>(id + i));
+    }
+    covered += run.count;
+    id += static_cast<VectorId>(run.count);
+  }
+  EXPECT_EQ(covered, 50u);
+  // A run clipped by `end` mid-chunk.
+  EXPECT_EQ(store.Run(0, 3).count, 3u);
+  // A run starting mid-chunk stops at the chunk boundary.
+  EXPECT_EQ(store.Run(kChunk + 3, 50).count, kChunk - 3);
+}
+
+TEST(VectorStoreTest, FindRangeInPrefixIgnoresLaterAppends) {
+  VectorStore store(1, Metric::kL2, /*chunk_capacity=*/4);
+  for (Timestamp t : {10, 20, 30, 40, 50, 60}) {
+    ASSERT_TRUE(store.Append(V({float(t)}).data(), t).ok());
+  }
+  // A reader pinned at a 3-vector prefix must not see ids >= 3.
+  EXPECT_EQ(store.FindRangeInPrefix({0, 100}, 3), (IdRange{0, 3}));
+  EXPECT_EQ(store.FindRangeInPrefix({25, 100}, 3), (IdRange{2, 3}));
+  EXPECT_EQ(store.FindRangeInPrefix({35, 100}, 3).size(), 0);
+  EXPECT_EQ(store.FindRangeInPrefix({0, 100}, 6), (IdRange{0, 6}));
+}
+
+TEST(VectorStoreTest, VectorSliceMatchesRawPointerAccess) {
+  constexpr size_t kDim = 3;
+  VectorStore store(kDim, Metric::kL2, /*chunk_capacity=*/4);
+  std::vector<float> data;
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t d = 0; d < kDim; ++d) data.push_back(float(i * kDim + d));
+  }
+  std::vector<Timestamp> ts(20);
+  for (size_t i = 0; i < 20; ++i) ts[i] = static_cast<Timestamp>(i);
+  ASSERT_TRUE(store.AppendBatch(data.data(), ts.data(), 20).ok());
+
+  const VectorSlice contiguous(data.data(), kDim);
+  const VectorSlice chunked(store, /*base=*/5);
+  for (size_t i = 0; i < 15; ++i) {
+    const float* a = contiguous.row(5 + i);
+    const float* b = chunked.row(i);
+    for (size_t d = 0; d < kDim; ++d) EXPECT_FLOAT_EQ(a[d], b[d]);
+  }
+}
+
 }  // namespace
 }  // namespace mbi
