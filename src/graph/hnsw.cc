@@ -261,14 +261,40 @@ Status HnswGraph::Load(BinaryReader* reader) {
   MBI_RETURN_IF_ERROR(reader->Read<uint32_t>(&entry_point_));
   MBI_RETURN_IF_ERROR(reader->Read<int32_t>(&max_level_));
   MBI_RETURN_IF_ERROR(reader->ReadVector(&levels_));
+  if (!levels_.empty() &&
+      (entry_point_ >= levels_.size() || max_level_ < 0)) {
+    return Status::IoError("corrupt HNSW: entry point out of range");
+  }
   links_.assign(levels_.size(), {});
   for (size_t i = 0; i < links_.size(); ++i) {
     uint32_t num_levels = 0;
     MBI_RETURN_IF_ERROR(reader->Read<uint32_t>(&num_levels));
     if (num_levels > 64) return Status::IoError("corrupt HNSW level count");
+    if (levels_[i] < 0 || levels_[i] > max_level_ ||
+        num_levels != static_cast<uint32_t>(levels_[i]) + 1) {
+      return Status::IoError("corrupt HNSW: node level out of range");
+    }
     links_[i].resize(num_levels);
     for (auto& level : links_[i]) {
       MBI_RETURN_IF_ERROR(reader->ReadVector(&level));
+      // Links index into this block's node set; reject ids that would read
+      // out of bounds at search time.
+      for (const NodeId nb : level) {
+        if (static_cast<size_t>(nb) >= levels_.size()) {
+          return Status::IoError("corrupt HNSW: link id out of range");
+        }
+      }
+    }
+  }
+  // A link stored at layer L must point at a node whose top level is >= L,
+  // or the search would index past that node's link stack.
+  for (size_t i = 0; i < links_.size(); ++i) {
+    for (size_t level = 0; level < links_[i].size(); ++level) {
+      for (const NodeId nb : links_[i][level]) {
+        if (static_cast<size_t>(levels_[nb]) + 1 < level + 1) {
+          return Status::IoError("corrupt HNSW: link above target level");
+        }
+      }
     }
   }
   return Status::Ok();

@@ -39,9 +39,20 @@ Status KnnGraph::Load(BinaryReader* reader) {
   uint64_t n = 0, d = 0;
   MBI_RETURN_IF_ERROR(reader->Read<uint64_t>(&n));
   MBI_RETURN_IF_ERROR(reader->Read<uint64_t>(&d));
+  uint64_t expected = 0;
+  if (!CheckedMul(n, d, &expected)) {
+    return Status::IoError("corrupt KnnGraph: node count * degree overflows");
+  }
   MBI_RETURN_IF_ERROR(reader->ReadVector(&adjacency_));
-  if (adjacency_.size() != n * d) {
+  if (adjacency_.size() != expected) {
     return Status::IoError("corrupt KnnGraph: adjacency size mismatch");
+  }
+  // Neighbor ids index into the block slice; reject out-of-range entries so
+  // a corrupt adjacency list can never drive an out-of-bounds vector read.
+  for (const NodeId nb : adjacency_) {
+    if (nb != kInvalidNode && static_cast<uint64_t>(nb) >= n) {
+      return Status::IoError("corrupt KnnGraph: neighbor id out of range");
+    }
   }
   num_nodes_ = n;
   degree_ = d;

@@ -62,7 +62,11 @@ Status FlatBlockIndex::Save(BinaryWriter* writer) const {
 
 Status FlatBlockIndex::Load(BinaryReader* reader) {
   MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.begin));
-  return reader->Read<int64_t>(&range_.end);
+  MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.end));
+  if (range_.begin < 0 || range_.end < range_.begin) {
+    return Status::IoError("corrupt FlatBlockIndex: invalid id range");
+  }
+  return Status::Ok();
 }
 
 }  // namespace mbi

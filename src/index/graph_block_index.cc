@@ -35,7 +35,14 @@ Status GraphBlockIndex::Save(BinaryWriter* writer) const {
 Status GraphBlockIndex::Load(BinaryReader* reader) {
   MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.begin));
   MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.end));
-  return graph_.Load(reader);
+  if (range_.begin < 0 || range_.end < range_.begin) {
+    return Status::IoError("corrupt GraphBlockIndex: invalid id range");
+  }
+  MBI_RETURN_IF_ERROR(graph_.Load(reader));
+  if (graph_.num_nodes() != static_cast<size_t>(range_.size())) {
+    return Status::IoError("corrupt GraphBlockIndex: graph size mismatch");
+  }
+  return Status::Ok();
 }
 
 }  // namespace mbi

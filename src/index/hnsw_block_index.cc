@@ -55,7 +55,14 @@ Status HnswBlockIndex::Save(BinaryWriter* writer) const {
 Status HnswBlockIndex::Load(BinaryReader* reader) {
   MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.begin));
   MBI_RETURN_IF_ERROR(reader->Read<int64_t>(&range_.end));
-  return hnsw_.Load(reader);
+  if (range_.begin < 0 || range_.end < range_.begin) {
+    return Status::IoError("corrupt HnswBlockIndex: invalid id range");
+  }
+  MBI_RETURN_IF_ERROR(hnsw_.Load(reader));
+  if (hnsw_.num_nodes() != static_cast<size_t>(range_.size())) {
+    return Status::IoError("corrupt HnswBlockIndex: graph size mismatch");
+  }
+  return Status::Ok();
 }
 
 }  // namespace mbi

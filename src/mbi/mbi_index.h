@@ -31,6 +31,10 @@ namespace mbi {
 
 class ThreadPool;
 
+namespace persist {
+class FileSystem;
+}
+
 /// Construction-time and query-time parameters of MBI (paper Table 3).
 struct MbiParams {
   /// Leaf block capacity S_L.
@@ -221,12 +225,41 @@ class MbiIndex {
 
   MbiStats GetStats() const;
 
-  /// Serialization to a single file.
-  Status Save(const std::string& path) const;
+  /// Serialization to a single file (format MBIX0002): a sectioned layout
+  /// with per-section CRC32C checksums, published atomically via
+  /// tmp + fsync + rename so a crash mid-Save leaves any previous file
+  /// intact. Safe to call from a reader thread during live ingest: the
+  /// written state is a pinned ReadView (committed prefix + its blocks).
+  /// `fs` (POSIX when null) exists for fault-injection tests.
+  Status Save(const std::string& path,
+              persist::FileSystem* fs = nullptr) const;
 
-  /// Loads an index previously written by Save. Replaces this index's
-  /// contents; dim/metric/params come from the file.
-  static Result<std::unique_ptr<MbiIndex>> Load(const std::string& path);
+  /// Loads an index previously written by Save — current (MBIX0002) or
+  /// legacy (MBIX0001) format. Every length field is validated against the
+  /// remaining file size before allocation and every section checksum is
+  /// verified, so corruption yields a clean non-OK Status (never a crash,
+  /// OOM or silently wrong index). Blocks the saved snapshot had not yet
+  /// covered are rebuilt deterministically.
+  static Result<std::unique_ptr<MbiIndex>> Load(
+      const std::string& path, persist::FileSystem* fs = nullptr);
+
+  /// Incremental crash-safe checkpoint into directory `dir`. Immutable
+  /// per-leaf vector segments and per-block index segments are written once
+  /// (atomically) and reused by later checkpoints; the committed tail beyond
+  /// the covered prefix goes to an append-only CRC-framed log; a framed
+  /// MANIFEST published by atomic rename commits the whole checkpoint.
+  /// A crash at any byte leaves the directory recoverable to either the
+  /// previous or the new checkpoint state. Safe during live ingest (works
+  /// off a pinned ReadView).
+  Status Checkpoint(const std::string& dir,
+                    persist::FileSystem* fs = nullptr) const;
+
+  /// Rebuilds an index from a checkpoint directory: loads the manifest,
+  /// segments and valid clean prefix of the tail log, then re-runs the merge
+  /// cascades for the tail — deterministic builds make the result bit-exact
+  /// with the pre-crash index. Corruption yields a clean non-OK Status.
+  static Result<std::unique_ptr<MbiIndex>> Recover(
+      const std::string& dir, persist::FileSystem* fs = nullptr);
 
  private:
   friend class MbiIo;  // serialization helper

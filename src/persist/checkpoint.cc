@@ -1,0 +1,82 @@
+#include "persist/checkpoint.h"
+
+#include <cstring>
+
+namespace mbi::persist {
+
+Status AtomicallyWriteFile(FileSystem* fs, const std::string& path,
+                           const WriteContentsFn& fill,
+                           uint64_t* bytes_written) {
+  const std::string tmp = path + ".tmp";
+  Status s;
+  {
+    BinaryWriter w;
+    s = w.Open(tmp, fs);
+    if (s.ok()) s = fill(&w);
+    if (s.ok()) s = w.Sync();
+    if (s.ok() && bytes_written != nullptr) *bytes_written = w.offset();
+    const Status close = w.Close();
+    if (s.ok()) s = close;
+  }
+  if (s.ok()) s = fs->RenameFile(tmp, path);
+  if (s.ok()) s = fs->SyncDir(DirName(path));
+  if (!s.ok() && fs->FileExists(tmp)) (void)fs->DeleteFile(tmp);
+  return s;
+}
+
+Status WriteFramedFile(FileSystem* fs, const std::string& path,
+                       const char* magic8, const WriteContentsFn& fill,
+                       uint64_t* bytes_written) {
+  return AtomicallyWriteFile(
+      fs, path,
+      [&](BinaryWriter* w) {
+        MBI_RETURN_IF_ERROR(w->WriteBytes(magic8, 8));
+        const uint64_t table_offset = w->offset();
+        char placeholder[12] = {0};
+        MBI_RETURN_IF_ERROR(w->WriteBytes(placeholder, sizeof(placeholder)));
+        const uint64_t payload_start = w->offset();
+        w->CrcReset();
+        MBI_RETURN_IF_ERROR(fill(w));
+        const uint64_t len = w->offset() - payload_start;
+        const uint32_t crc = w->crc();
+        char table[12];
+        std::memcpy(table, &len, 8);
+        std::memcpy(table + 8, &crc, 4);
+        return w->PatchAt(table_offset, table, sizeof(table));
+      },
+      bytes_written);
+}
+
+Status ReadFramedFile(FileSystem* fs, const std::string& path,
+                      const char* magic8, const ParseContentsFn& parse) {
+  BinaryReader r;
+  MBI_RETURN_IF_ERROR(r.Open(path, fs));
+  char magic[8];
+  MBI_RETURN_IF_ERROR(r.ReadBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, magic8, sizeof(magic)) != 0) {
+    return Status::DataLoss("bad magic in " + path);
+  }
+  uint64_t len = 0;
+  uint32_t crc = 0;
+  MBI_RETURN_IF_ERROR(r.Read<uint64_t>(&len));
+  MBI_RETURN_IF_ERROR(r.Read<uint32_t>(&crc));
+  if (len != r.Remaining()) {
+    return Status::DataLoss("truncated or oversized payload in " + path +
+                            " (header says " + std::to_string(len) +
+                            " bytes, file has " +
+                            std::to_string(r.Remaining()) + ")");
+  }
+  r.CrcReset();
+  const uint64_t payload_start = r.offset();
+  MBI_RETURN_IF_ERROR(parse(&r));
+  if (r.offset() - payload_start != len) {
+    return Status::DataLoss("payload of " + path +
+                            " not fully consumed by parser");
+  }
+  if (r.crc() != crc) {
+    return Status::DataLoss("checksum mismatch in " + path);
+  }
+  return r.Close();
+}
+
+}  // namespace mbi::persist

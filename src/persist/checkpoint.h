@@ -1,0 +1,54 @@
+// Atomic file publication and framed single-payload files.
+//
+// AtomicallyWriteFile implements the classic durable-publish protocol:
+// write the full contents to `<path>.tmp`, fsync the file, close it,
+// rename(2) it over `path`, then fsync the containing directory. A crash
+// or write error at any point leaves the previous `path` untouched — a
+// checkpoint is either the complete old file or the complete new file.
+//
+// WriteFramedFile/ReadFramedFile add a self-validating envelope used by
+// checkpoint segments and the manifest:
+//
+//   [8-byte magic][u64 payload_len][u32 crc32c(payload)][payload]
+//
+// The reader validates the magic, requires payload_len to exactly match
+// the bytes on disk (so truncation is detected before parsing) and
+// verifies the CRC after parsing, returning DataLoss on any mismatch.
+
+#ifndef MBI_PERSIST_CHECKPOINT_H_
+#define MBI_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "persist/file.h"
+#include "util/io.h"
+
+namespace mbi::persist {
+
+using WriteContentsFn = std::function<Status(BinaryWriter*)>;
+using ParseContentsFn = std::function<Status(BinaryReader*)>;
+
+/// Writes `fill`'s output to `path` via the tmp+fsync+rename protocol.
+/// On failure the previous `path` (if any) is untouched and the tmp file is
+/// deleted best-effort. `bytes_written`, when non-null, receives the final
+/// file size.
+Status AtomicallyWriteFile(FileSystem* fs, const std::string& path,
+                           const WriteContentsFn& fill,
+                           uint64_t* bytes_written = nullptr);
+
+/// Atomically writes a framed file: magic + length + CRC + payload.
+/// `magic8` must point at exactly 8 bytes.
+Status WriteFramedFile(FileSystem* fs, const std::string& path,
+                       const char* magic8, const WriteContentsFn& fill,
+                       uint64_t* bytes_written = nullptr);
+
+/// Opens and fully validates a framed file, handing the payload to `parse`.
+/// `parse` must consume exactly the payload; anything else is corruption.
+Status ReadFramedFile(FileSystem* fs, const std::string& path,
+                      const char* magic8, const ParseContentsFn& parse);
+
+}  // namespace mbi::persist
+
+#endif  // MBI_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,68 @@
+#include "persist/crc32c.h"
+
+#include <array>
+
+namespace mbi::persist {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-8 lookup tables: table[0] is the classic byte-at-a-time table,
+// table[j] advances a byte through j additional zero bytes, letting the hot
+// loop fold 8 input bytes per iteration.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (size_t j = 1; j < 8; ++j) {
+        t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~crc;
+  while (size >= 8) {
+    // Little-endian load folded through the 8 tables.
+    const uint32_t lo = c ^ (static_cast<uint32_t>(p[0]) |
+                             static_cast<uint32_t>(p[1]) << 8 |
+                             static_cast<uint32_t>(p[2]) << 16 |
+                             static_cast<uint32_t>(p[3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(p[4]) |
+                        static_cast<uint32_t>(p[5]) << 8 |
+                        static_cast<uint32_t>(p[6]) << 16 |
+                        static_cast<uint32_t>(p[7]) << 24;
+    c = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+        tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^
+        tb.t[3][hi & 0xFF] ^ tb.t[2][(hi >> 8) & 0xFF] ^
+        tb.t[1][(hi >> 16) & 0xFF] ^ tb.t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    c = (c >> 8) ^ tb.t[0][(c ^ *p++) & 0xFF];
+  }
+  return ~c;
+}
+
+}  // namespace mbi::persist

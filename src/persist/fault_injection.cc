@@ -1,0 +1,224 @@
+#include "persist/fault_injection.h"
+
+namespace mbi::persist {
+
+namespace {
+
+Status Injected(const char* what) {
+  return Status::IoError(std::string("injected fault: ") + what);
+}
+
+}  // namespace
+
+/// Wraps one writable file; all fault state lives in the owning file system
+/// so the byte counter spans every file of a checkpoint. `base_` is null for
+/// files "created" after a simulated crash (pure sinks).
+class FaultInjectingWritableFile final : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingFileSystem* fs,
+                             std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  ~FaultInjectingWritableFile() override { (void)Close(); }
+
+  Status Append(const void* data, size_t size) override {
+    return Write(data, size, /*offset=*/nullptr);
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t size) override {
+    return Write(data, size, &offset);
+  }
+
+  Status Flush() override {
+    if (fs_->crashed_) {
+      if (base_ != nullptr) (void)base_->Flush();
+      return Status::Ok();
+    }
+    if (fs_->plan_.fail_flush) {
+      fs_->plan_.fail_flush = false;
+      return Injected("flush failure");
+    }
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    if (fs_->crashed_) {
+      if (base_ != nullptr) (void)base_->Flush();
+      return Status::Ok();
+    }
+    if (fs_->plan_.fail_sync) {
+      fs_->plan_.fail_sync = false;
+      return Injected("sync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    if (base_ == nullptr) return Status::Ok();
+    std::unique_ptr<WritableFile> base = std::move(base_);
+    if (fs_->crashed_) {
+      // Closing the real file materializes the pre-crash bytes that stdio
+      // still buffers; nothing written after the crash ever reached it.
+      (void)base->Close();
+      return Status::Ok();
+    }
+    if (fs_->plan_.fail_close) {
+      fs_->plan_.fail_close = false;
+      (void)base->Close();
+      return Injected("close failure");
+    }
+    return base->Close();
+  }
+
+ private:
+  Status Write(const void* data, size_t size, const uint64_t* offset) {
+    if (fs_->crashed_ || base_ == nullptr) return Status::Ok();
+    FaultPlan& plan = fs_->plan_;
+    uint64_t& counter = fs_->bytes_written_;
+    const bool armed = plan.write_fault != FaultPlan::WriteFault::kNone;
+    const uint64_t avail =
+        plan.trigger_bytes > counter ? plan.trigger_bytes - counter : 0;
+    if (!armed || size <= avail) {
+      MBI_RETURN_IF_ERROR(Forward(data, size, offset));
+      counter += size;
+      return Status::Ok();
+    }
+    // This write crosses the trigger.
+    const FaultPlan::WriteFault fault = plan.write_fault;
+    plan.write_fault = FaultPlan::WriteFault::kNone;
+    if (fault == FaultPlan::WriteFault::kEio) {
+      return Injected("EIO, nothing written");
+    }
+    MBI_RETURN_IF_ERROR(Forward(data, avail, offset));
+    counter += avail;
+    switch (fault) {
+      case FaultPlan::WriteFault::kShortWrite:
+        return Injected("short write");
+      case FaultPlan::WriteFault::kDiskFull:
+        return Injected("ENOSPC, disk full after partial write");
+      case FaultPlan::WriteFault::kCrash:
+        fs_->crashed_ = true;
+        return Status::Ok();
+      default:
+        return Status::Internal("unreachable fault kind");
+    }
+  }
+
+  Status Forward(const void* data, size_t size, const uint64_t* offset) {
+    if (size == 0) return Status::Ok();
+    return offset != nullptr ? base_->WriteAt(*offset, data, size)
+                             : base_->Append(data, size);
+  }
+
+  FaultInjectingFileSystem* fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultInjectingReadableFile final : public ReadableFile {
+ public:
+  FaultInjectingReadableFile(FaultInjectingFileSystem* fs,
+                             std::unique_ptr<ReadableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  Status Read(void* data, size_t size) override {
+    return base_->Read(data, size);
+  }
+  Status Skip(uint64_t count) override { return base_->Skip(count); }
+  uint64_t Size() const override { return base_->Size(); }
+
+  Status Close() override {
+    const Status base = base_->Close();
+    if (fs_->plan_.fail_read_close) {
+      fs_->plan_.fail_read_close = false;
+      return Injected("read-side close failure");
+    }
+    return base;
+  }
+
+ private:
+  FaultInjectingFileSystem* fs_;
+  std::unique_ptr<ReadableFile> base_;
+};
+
+void FaultInjectingFileSystem::SetPlan(const FaultPlan& plan) {
+  plan_ = plan;
+  bytes_written_ = 0;
+  crashed_ = false;
+  files_created_.clear();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::NewWritableFile(
+    const std::string& path) {
+  files_created_.push_back(path);
+  if (crashed_) {
+    return std::unique_ptr<WritableFile>(
+        new FaultInjectingWritableFile(this, nullptr));
+  }
+  auto base = base_->NewWritableFile(path);
+  MBI_RETURN_IF_ERROR(base.status());
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(this, std::move(base).value()));
+}
+
+Result<std::unique_ptr<WritableFile>>
+FaultInjectingFileSystem::NewAppendableFile(const std::string& path) {
+  files_created_.push_back(path);
+  if (crashed_) {
+    return std::unique_ptr<WritableFile>(
+        new FaultInjectingWritableFile(this, nullptr));
+  }
+  auto base = base_->NewAppendableFile(path);
+  MBI_RETURN_IF_ERROR(base.status());
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(this, std::move(base).value()));
+}
+
+Result<std::unique_ptr<ReadableFile>> FaultInjectingFileSystem::NewReadableFile(
+    const std::string& path) {
+  auto base = base_->NewReadableFile(path);
+  MBI_RETURN_IF_ERROR(base.status());
+  return std::unique_ptr<ReadableFile>(
+      new FaultInjectingReadableFile(this, std::move(base).value()));
+}
+
+Status FaultInjectingFileSystem::RenameFile(const std::string& from,
+                                            const std::string& to) {
+  if (crashed_) return Status::Ok();
+  if (plan_.fail_rename) {
+    plan_.fail_rename = false;
+    return Injected("rename failure");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingFileSystem::DeleteFile(const std::string& path) {
+  if (crashed_) return Status::Ok();
+  return base_->DeleteFile(path);
+}
+
+bool FaultInjectingFileSystem::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingFileSystem::GetFileSize(
+    const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+Status FaultInjectingFileSystem::TruncateFile(const std::string& path,
+                                              uint64_t size) {
+  if (crashed_) return Status::Ok();
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectingFileSystem::CreateDir(const std::string& path) {
+  if (crashed_) return Status::Ok();
+  return base_->CreateDir(path);
+}
+
+Status FaultInjectingFileSystem::SyncDir(const std::string& path) {
+  if (crashed_) return Status::Ok();
+  return base_->SyncDir(path);
+}
+
+}  // namespace mbi::persist

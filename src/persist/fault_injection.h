@@ -1,0 +1,101 @@
+// Fault injection for the persistence torture tests.
+//
+// FaultInjectingFileSystem wraps a real FileSystem and injects write-side
+// faults at a byte-precise trigger point:
+//
+//   kShortWrite  the write that crosses the trigger persists only the bytes
+//                up to it and returns IoError (torn fwrite / EINTR tail)
+//   kEio         the crossing write persists nothing and returns IoError
+//   kDiskFull    like kShortWrite but with an ENOSPC-flavored message —
+//                partial data persisted, as a real full disk leaves behind
+//   kCrash       the crossing write persists the prefix, then the process
+//                "dies": every later operation through this file system
+//                (writes, renames, deletes, creates, truncates) silently
+//                reports OK but changes nothing on disk. The test then
+//                "reboots" by reopening whatever is on disk with the real
+//                file system.
+//
+// One-shot flags additionally fail the next Flush / Sync / Close / rename,
+// covering the full-disk-at-close and failed-publish cases. The byte
+// counter is global across every file opened through the wrapper, so a
+// single trigger sweep covers a whole multi-file checkpoint.
+//
+// Single-threaded by design (tests drive one Save/Checkpoint at a time).
+
+#ifndef MBI_PERSIST_FAULT_INJECTION_H_
+#define MBI_PERSIST_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/file.h"
+
+namespace mbi::persist {
+
+struct FaultPlan {
+  enum class WriteFault { kNone, kShortWrite, kEio, kDiskFull, kCrash };
+
+  WriteFault write_fault = WriteFault::kNone;
+
+  /// Cumulative appended bytes (across all files) after which `write_fault`
+  /// fires. 0 fails the very first byte.
+  uint64_t trigger_bytes = UINT64_MAX;
+
+  // One-shot operation faults (consumed when they fire).
+  bool fail_flush = false;
+  bool fail_sync = false;
+  bool fail_close = false;
+  bool fail_rename = false;
+  bool fail_read_close = false;
+};
+
+class FaultInjectingFileSystem final : public FileSystem {
+ public:
+  explicit FaultInjectingFileSystem(FileSystem* base) : base_(base) {}
+
+  /// Installs a fresh plan and resets the byte counter, the crashed flag
+  /// and the created-files log.
+  void SetPlan(const FaultPlan& plan);
+
+  /// Bytes actually persisted through Append/WriteAt so far.
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// True once a kCrash fault has fired.
+  bool crashed() const { return crashed_; }
+
+  /// Paths passed to NewWritableFile/NewAppendableFile since SetPlan, in
+  /// order (including post-crash opens, which touch nothing on disk).
+  const std::vector<std::string>& files_created() const {
+    return files_created_;
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+  friend class FaultInjectingReadableFile;
+
+  FileSystem* base_;
+  FaultPlan plan_;
+  uint64_t bytes_written_ = 0;
+  bool crashed_ = false;
+  std::vector<std::string> files_created_;
+};
+
+}  // namespace mbi::persist
+
+#endif  // MBI_PERSIST_FAULT_INJECTION_H_

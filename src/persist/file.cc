@@ -1,0 +1,215 @@
+#include "persist/file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace mbi::persist {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(FILE* file, std::string path, bool appendable)
+      : file_(file), path_(std::move(path)), appendable_(appendable) {}
+
+  ~PosixWritableFile() override { (void)Close(); }
+
+  Status Append(const void* data, size_t size) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (size == 0) return Status::Ok();
+    if (std::fwrite(data, 1, size, file_) != size) {
+      return Errno("short write to", path_);
+    }
+    return Status::Ok();
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t size) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (appendable_) {
+      // O_APPEND makes pwrite ignore the offset on Linux; refuse rather
+      // than silently corrupt.
+      return Status::FailedPrecondition("WriteAt on appendable file");
+    }
+    if (std::fflush(file_) != 0) return Errno("flush of", path_);
+    const char* p = static_cast<const char*>(data);
+    while (size > 0) {
+      const ssize_t n =
+          ::pwrite(fileno(file_), p, size, static_cast<off_t>(offset));
+      if (n <= 0) return Errno("pwrite to", path_);
+      p += n;
+      offset += static_cast<uint64_t>(n);
+      size -= static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fflush(file_) != 0) return Errno("flush of", path_);
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fflush(file_) != 0) return Errno("flush of", path_);
+    if (::fsync(fileno(file_)) != 0) return Errno("fsync of", path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::Ok();
+    FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) return Errno("close of", path_);
+    return Status::Ok();
+  }
+
+ private:
+  FILE* file_;
+  std::string path_;
+  bool appendable_;
+};
+
+class PosixReadableFile final : public ReadableFile {
+ public:
+  PosixReadableFile(FILE* file, std::string path, uint64_t size)
+      : file_(file), path_(std::move(path)), size_(size) {}
+
+  ~PosixReadableFile() override { (void)Close(); }
+
+  Status Read(void* data, size_t size) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (size == 0) return Status::Ok();
+    if (std::fread(data, 1, size, file_) != size) {
+      return Status::IoError("short read from " + path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Skip(uint64_t count) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fseek(file_, static_cast<long>(count), SEEK_CUR) != 0) {
+      return Errno("seek in", path_);
+    }
+    return Status::Ok();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::Ok();
+    FILE* f = file_;
+    file_ = nullptr;
+    const bool had_error = std::ferror(f) != 0;
+    if (std::fclose(f) != 0 || had_error) return Errno("close of", path_);
+    return Status::Ok();
+  }
+
+ private:
+  FILE* file_;
+  std::string path_;
+  uint64_t size_;
+};
+
+class PosixFileSystem final : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Errno("cannot open for writing", path);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(f, path, /*appendable=*/false));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) return Errno("cannot open for appending", path);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(f, path, /*appendable=*/true));
+  }
+
+  Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) override {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Errno("cannot open for reading", path);
+    struct stat st;
+    if (::fstat(fileno(f), &st) != 0) {
+      std::fclose(f);
+      return Errno("cannot stat", path);
+    }
+    return std::unique_ptr<ReadableFile>(
+        new PosixReadableFile(f, path, static_cast<uint64_t>(st.st_size)));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("cannot rename " + from + " to", to);
+    }
+    return Status::Ok();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) return Errno("cannot delete", path);
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return Errno("cannot stat", path);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("cannot truncate", path);
+    }
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("cannot create directory", path);
+    }
+    return Status::Ok();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("cannot open directory", path);
+    Status s;
+    if (::fsync(fd) != 0) s = Errno("fsync of directory", path);
+    ::close(fd);
+    return s;
+  }
+};
+
+}  // namespace
+
+FileSystem* FileSystem::Posix() {
+  static PosixFileSystem fs;
+  return &fs;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace mbi::persist

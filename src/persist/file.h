@@ -1,0 +1,104 @@
+// File-system abstraction behind all index persistence.
+//
+// BinaryReader/BinaryWriter (util/io.h) and the checkpoint machinery talk to
+// files only through these interfaces, so tests can substitute a
+// FaultInjectingFileSystem (persist/fault_injection.h) that simulates short
+// writes, EIO, disk-full and crash-at-offset without touching the kernel.
+// The default implementation (FileSystem::Posix()) is stdio + fsync.
+
+#ifndef MBI_PERSIST_FILE_H_
+#define MBI_PERSIST_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace mbi::persist {
+
+/// A file open for writing. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `size` bytes at the current end of the stream.
+  virtual Status Append(const void* data, size_t size) = 0;
+
+  /// Overwrites `size` bytes at absolute `offset` without moving the append
+  /// position (used to patch section tables once lengths are known). Not
+  /// supported on files opened for appending.
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t size) = 0;
+
+  /// Pushes user-space buffers to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+
+  /// Flush + fsync: data is durable when this returns OK.
+  virtual Status Sync() = 0;
+
+  /// Flushes and closes. Must be idempotent; a second call returns OK.
+  virtual Status Close() = 0;
+};
+
+/// A file open for sequential reading, with its total size known up front so
+/// callers can validate untrusted length fields before allocating.
+class ReadableFile {
+ public:
+  virtual ~ReadableFile() = default;
+
+  /// Reads exactly `size` bytes or fails (a short read is an error).
+  virtual Status Read(void* data, size_t size) = 0;
+
+  /// Skips `count` bytes.
+  virtual Status Skip(uint64_t count) = 0;
+
+  /// Total file size in bytes, captured at open.
+  virtual uint64_t Size() const = 0;
+
+  /// Closes and reports any deferred read error. Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// Factory + metadata operations. One process-wide Posix instance exists;
+/// fault-injection wrappers layer on top of it.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for writing, truncating any existing file.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` for appending (creates it if missing). WriteAt is not
+  /// supported on the returned file.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  virtual Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Creates a directory; OK if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// fsyncs a directory so a completed rename inside it survives a crash.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// The process-wide stdio/POSIX implementation.
+  static FileSystem* Posix();
+};
+
+/// The directory component of `path` ("." when there is none).
+std::string DirName(const std::string& path);
+
+}  // namespace mbi::persist
+
+#endif  // MBI_PERSIST_FILE_H_

@@ -1,0 +1,61 @@
+#include "persist/log.h"
+
+#include <cstring>
+
+#include "persist/crc32c.h"
+
+namespace mbi::persist {
+
+Status LogWriter::AddRecord(const void* data, size_t size) {
+  if (size > UINT32_MAX) {
+    return Status::InvalidArgument("log record too large");
+  }
+  char header[8];
+  const uint32_t len = static_cast<uint32_t>(size);
+  const uint32_t crc = Crc32c(data, size);
+  std::memcpy(header, &len, 4);
+  std::memcpy(header + 4, &crc, 4);
+  MBI_RETURN_IF_ERROR(file_->Append(header, sizeof(header)));
+  MBI_RETURN_IF_ERROR(file_->Append(data, size));
+  bytes_appended_ += sizeof(header) + size;
+  return Status::Ok();
+}
+
+Result<LogReplay> ReadLogRecords(ReadableFile* file) {
+  LogReplay out;
+  uint64_t offset = 0;
+  const uint64_t size = file->Size();
+  while (size - offset >= 8) {
+    char header[8];
+    MBI_RETURN_IF_ERROR(file->Read(header, sizeof(header)));
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, header, 4);
+    std::memcpy(&crc, header + 4, 4);
+    if (len > size - offset - 8) {
+      out.clean_eof = false;  // torn tail: length exceeds what is on disk
+      return out;
+    }
+    std::string payload(len, '\0');
+    MBI_RETURN_IF_ERROR(file->Read(payload.data(), len));
+    if (Crc32c(payload.data(), len) != crc) {
+      out.clean_eof = false;  // torn or corrupt record
+      return out;
+    }
+    offset += 8 + len;
+    out.valid_bytes = offset;
+    out.records.push_back(std::move(payload));
+  }
+  out.clean_eof = offset == size;
+  return out;
+}
+
+Result<LogReplay> ReadLogRecords(FileSystem* fs, const std::string& path) {
+  auto file = fs->NewReadableFile(path);
+  MBI_RETURN_IF_ERROR(file.status());
+  auto replay = ReadLogRecords(file.value().get());
+  MBI_RETURN_IF_ERROR(replay.status());
+  MBI_RETURN_IF_ERROR(file.value()->Close());
+  return replay;
+}
+
+}  // namespace mbi::persist

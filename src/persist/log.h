@@ -1,0 +1,59 @@
+// Append-only CRC-framed record log (the checkpoint tail log / WAL).
+//
+// Record framing: [u32 payload_len][u32 crc32c(payload)][payload]. Replay
+// reads records until the file ends or a record fails validation; a torn
+// final record (crash mid-append) is silently dropped — everything before
+// it is the durable clean prefix. The writer never patches earlier bytes,
+// so appends compose with rename-based checkpoints: an interrupted append
+// can only lose the record being written, never damage prior ones.
+
+#ifndef MBI_PERSIST_LOG_H_
+#define MBI_PERSIST_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/file.h"
+
+namespace mbi::persist {
+
+class LogWriter {
+ public:
+  /// Takes ownership of a writable (usually appendable) file.
+  explicit LogWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  /// Appends one framed record.
+  Status AddRecord(const void* data, size_t size);
+
+  /// Makes all appended records durable.
+  Status Sync() { return file_->Sync(); }
+
+  Status Close() { return file_->Close(); }
+
+  /// Framed bytes appended through this writer.
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Result of replaying a log.
+struct LogReplay {
+  std::vector<std::string> records;  ///< payloads of the valid clean prefix
+  uint64_t valid_bytes = 0;          ///< framed length of that prefix
+  bool clean_eof = true;  ///< false: stopped at a torn/corrupt record
+};
+
+/// Reads every valid record of `file` from the beginning.
+Result<LogReplay> ReadLogRecords(ReadableFile* file);
+
+/// Convenience: opens `path` through `fs` and replays it.
+Result<LogReplay> ReadLogRecords(FileSystem* fs, const std::string& path);
+
+}  // namespace mbi::persist
+
+#endif  // MBI_PERSIST_LOG_H_

@@ -1,33 +1,52 @@
 #include "util/io.h"
 
+#include "persist/crc32c.h"
+
 namespace mbi {
 
-BinaryWriter::~BinaryWriter() { Close(); }
+BinaryWriter::~BinaryWriter() { (void)Close(); }
 
-Status BinaryWriter::Open(const std::string& path) {
-  Close();
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
+Status BinaryWriter::Open(const std::string& path, persist::FileSystem* fs) {
+  (void)Close();
+  if (fs == nullptr) fs = persist::FileSystem::Posix();
+  auto file = fs->NewWritableFile(path);
+  MBI_RETURN_IF_ERROR(file.status());
+  Attach(std::move(file).value());
+  return Status::Ok();
+}
+
+void BinaryWriter::Attach(std::unique_ptr<persist::WritableFile> file) {
+  (void)Close();
+  file_ = std::move(file);
+  offset_ = 0;
+  crc_ = 0;
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  std::unique_ptr<persist::WritableFile> file = std::move(file_);
+  const Status flush = file->Flush();
+  const Status close = file->Close();
+  if (!flush.ok()) {
+    return Status(flush.code(), "flush failed: " + flush.message());
+  }
+  if (!close.ok()) {
+    return Status(close.code(), "close failed: " + close.message());
   }
   return Status::Ok();
 }
 
-Status BinaryWriter::Close() {
-  if (file_ != nullptr) {
-    int rc = std::fclose(file_);
-    file_ = nullptr;
-    if (rc != 0) return Status::IoError("fclose failed");
-  }
-  return Status::Ok();
+Status BinaryWriter::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  return file_->Sync();
 }
 
 Status BinaryWriter::WriteBytes(const void* data, size_t size) {
   if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
   if (size == 0) return Status::Ok();
-  if (std::fwrite(data, 1, size, file_) != size) {
-    return Status::IoError("short write");
-  }
+  MBI_RETURN_IF_ERROR(file_->Append(data, size));
+  offset_ += size;
+  crc_ = persist::Crc32cExtend(crc_, data, size);
   return Status::Ok();
 }
 
@@ -36,39 +55,54 @@ Status BinaryWriter::WriteString(const std::string& s) {
   return WriteBytes(s.data(), s.size());
 }
 
-BinaryReader::~BinaryReader() { Close(); }
+Status BinaryWriter::PatchAt(uint64_t offset, const void* data, size_t size) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  return file_->WriteAt(offset, data, size);
+}
 
-Status BinaryReader::Open(const std::string& path) {
-  Close();
-  file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
+BinaryReader::~BinaryReader() { (void)Close(); }
+
+Status BinaryReader::Open(const std::string& path, persist::FileSystem* fs) {
+  (void)Close();
+  if (fs == nullptr) fs = persist::FileSystem::Posix();
+  auto file = fs->NewReadableFile(path);
+  MBI_RETURN_IF_ERROR(file.status());
+  file_ = std::move(file).value();
+  size_ = file_->Size();
+  offset_ = 0;
+  crc_ = 0;
   return Status::Ok();
 }
 
 Status BinaryReader::Close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-  return Status::Ok();
+  if (file_ == nullptr) return Status::Ok();
+  std::unique_ptr<persist::ReadableFile> file = std::move(file_);
+  return file->Close();
 }
 
 Status BinaryReader::ReadBytes(void* data, size_t size) {
   if (file_ == nullptr) return Status::FailedPrecondition("reader not open");
   if (size == 0) return Status::Ok();
-  if (std::fread(data, 1, size, file_) != size) {
-    return Status::IoError("short read");
+  if (size > Remaining()) {
+    return Status::IoError("read past end of file (" + std::to_string(size) +
+                           " bytes wanted, " + std::to_string(Remaining()) +
+                           " left)");
   }
+  MBI_RETURN_IF_ERROR(file_->Read(data, size));
+  offset_ += size;
+  crc_ = persist::Crc32cExtend(crc_, data, size);
   return Status::Ok();
 }
 
 Status BinaryReader::ReadString(std::string* s) {
   uint64_t n = 0;
   MBI_RETURN_IF_ERROR(Read<uint64_t>(&n));
+  if (n > Remaining()) {
+    return Status::IoError("corrupt string length: " + std::to_string(n) +
+                           " bytes exceed remaining file size");
+  }
   s->resize(n);
-  return ReadBytes(s->data(), n);
+  return ReadBytes(s->data(), static_cast<size_t>(n));
 }
 
 }  // namespace mbi

@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotFound,
   kIoError,
+  kDataLoss,
   kInternal,
 };
 
@@ -35,6 +36,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";
@@ -66,6 +68,11 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// Unrecoverable corruption detected in previously persisted data
+  /// (checksum mismatch, impossible section length, torn record).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -121,7 +121,7 @@ TEST(MbiIoTest, LoadRejectsGarbage) {
   fclose(f);
   auto result = MbiIndex::Load(path);
   EXPECT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 
