@@ -1,0 +1,183 @@
+// Overload bench: tail latency with and without per-query deadlines under a
+// saturating closed-loop load, plus admission-control shed behavior.
+//
+// Readers outnumber the admission limit and hammer the index continuously.
+// Three measured phases on the same preloaded index:
+//
+//   unbounded  — no budget, no admission limit: the tail is whatever the
+//                slowest query costs under contention.
+//   deadline   — every query carries a wall-clock deadline; degraded
+//                answers are allowed. p99/p999 should collapse toward the
+//                deadline while p50 is mostly unchanged.
+//   admission  — deadline + bounded in-flight queries: excess load is shed
+//                with kResourceExhausted instead of queueing.
+//
+// Exports BENCH_overload.json with p50/p99/p999 per phase and the
+// degraded/shed rates so CI can track tail-latency regressions.
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "util/budget.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace mbi;
+  using namespace mbi::bench;
+
+  PrintHeader("Overload: tail latency with deadlines and admission control");
+
+  const size_t n_total = static_cast<size_t>(
+      (FullMode() ? 120000 : 30000) * BenchScaleFromEnv());
+  const size_t dim = 16;
+  const size_t kNumQueries = 64;
+  // Saturating: more closed-loop readers than cores.
+  const size_t num_readers =
+      std::max<size_t>(4, 2 * ThreadPool::DefaultThreads());
+  const double deadline_seconds = FullMode() ? 2e-3 : 5e-3;
+  const size_t queries_per_thread = FullMode() ? 500 : 150;
+
+  SyntheticParams gen;
+  gen.dim = dim;
+  gen.num_clusters = 16;
+  gen.seed = 777;
+  SyntheticData data = GenerateSynthetic(gen, n_total);
+  std::vector<float> queries = GenerateQueries(gen, kNumQueries);
+
+  MbiParams params;
+  params.leaf_size = 1000;
+  params.build.degree = 16;
+  params.build.exact_threshold = 2048;
+  params.max_inflight_queries = std::max<size_t>(2, num_readers / 4);
+
+  MbiIndex index(dim, Metric::kL2, params);
+  MBI_CHECK_OK(index.AddBatch(data.vectors.data(), data.timestamps.data(),
+                              n_total));
+
+  SearchParams base_sp;
+  base_sp.k = 10;
+  base_sp.max_candidates = 96;
+  base_sp.epsilon = 1.2f;
+  base_sp.num_entry_points = 4;
+
+  struct PhaseResult {
+    std::vector<double> latencies;
+    size_t degraded = 0;
+    size_t shed = 0;
+    size_t answered = 0;
+  };
+
+  // Closed-loop measured phase. `use_deadline` attaches a per-query budget;
+  // `use_admission` routes through SearchAdmitted (shed queries retry the
+  // next loop iteration, like a client honoring retry-after).
+  auto measure = [&](bool use_deadline, bool use_admission) {
+    PhaseResult result;
+    std::vector<PhaseResult> per_thread(num_readers);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < num_readers; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(100 + t);
+        QueryContext ctx(300 + t);
+        PhaseResult& mine = per_thread[t];
+        const int64_t n = static_cast<int64_t>(n_total);
+        for (size_t q = 0; q < queries_per_thread; ++q) {
+          const int64_t a = static_cast<int64_t>(rng.NextBounded(n));
+          const int64_t b =
+              a + 1 + static_cast<int64_t>(rng.NextBounded(n - a));
+          const TimeWindow w{a, b};
+          const float* query =
+              queries.data() + rng.NextBounded(kNumQueries) * dim;
+          SearchParams sp = base_sp;
+          QueryBudget budget;
+          if (use_deadline) {
+            budget = QueryBudget::WithDeadline(deadline_seconds);
+            sp.budget = &budget;
+          }
+          WallTimer timer;
+          if (use_admission) {
+            Result<SearchResult> r =
+                index.SearchAdmitted(query, w, sp, &ctx);
+            mine.latencies.push_back(timer.ElapsedSeconds());
+            if (!r.ok()) {
+              ++mine.shed;
+              continue;
+            }
+            ++mine.answered;
+            if (r.value().degraded()) ++mine.degraded;
+          } else {
+            SearchResult r = index.Search(query, w, sp, &ctx);
+            mine.latencies.push_back(timer.ElapsedSeconds());
+            ++mine.answered;
+            if (r.degraded()) ++mine.degraded;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (const PhaseResult& pr : per_thread) {
+      result.latencies.insert(result.latencies.end(), pr.latencies.begin(),
+                              pr.latencies.end());
+      result.degraded += pr.degraded;
+      result.shed += pr.shed;
+      result.answered += pr.answered;
+    }
+    return result;
+  };
+
+  auto percentile = [](std::vector<double> v, double p) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const size_t i = static_cast<size_t>(p * (v.size() - 1));
+    return v[i];
+  };
+
+  PhaseResult unbounded = measure(false, false);
+  PhaseResult deadline = measure(true, false);
+  PhaseResult admission = measure(true, true);
+
+  TablePrinter table({"phase", "queries", "p50 (ms)", "p99 (ms)",
+                      "p999 (ms)", "degraded", "shed"});
+  auto row = [&](const char* name, const PhaseResult& pr) {
+    table.AddRow({name, FormatCount(pr.latencies.size()),
+                  FormatFloat(percentile(pr.latencies, 0.50) * 1e3, 3),
+                  FormatFloat(percentile(pr.latencies, 0.99) * 1e3, 3),
+                  FormatFloat(percentile(pr.latencies, 0.999) * 1e3, 3),
+                  FormatCount(pr.degraded), FormatCount(pr.shed)});
+  };
+  row("unbounded", unbounded);
+  row("deadline", deadline);
+  row("deadline+admission", admission);
+  table.Print();
+  std::printf("\ndeadline=%.1f ms, %zu readers, admission limit=%zu\n",
+              deadline_seconds * 1e3, num_readers,
+              params.max_inflight_queries);
+
+  auto& reg = obs::MetricRegistry::Default();
+  auto expo = [&](const char* name, const char* help,
+                  const PhaseResult& pr) {
+    std::string prefix = std::string("bench_overload_") + name;
+    reg.GetGauge(prefix + "_p50_seconds", help)
+        ->Set(percentile(pr.latencies, 0.50));
+    reg.GetGauge(prefix + "_p99_seconds", help)
+        ->Set(percentile(pr.latencies, 0.99));
+    reg.GetGauge(prefix + "_p999_seconds", help)
+        ->Set(percentile(pr.latencies, 0.999));
+    reg.GetGauge(prefix + "_degraded", help)
+        ->Set(static_cast<double>(pr.degraded));
+  };
+  expo("unbounded", "saturating load, no budget", unbounded);
+  expo("deadline", "saturating load, per-query deadline", deadline);
+  expo("admission", "deadline + bounded in-flight", admission);
+  reg.GetGauge("bench_overload_shed_queries",
+               "queries shed by admission control during the bench")
+      ->Set(static_cast<double>(admission.shed));
+  reg.GetGauge("bench_overload_deadline_seconds", "per-query deadline used")
+      ->Set(deadline_seconds);
+
+  ExportBenchMetrics("overload");
+  return 0;
+}

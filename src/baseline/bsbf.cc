@@ -6,13 +6,28 @@
 namespace mbi {
 
 SearchResult BsbfIndex::Query(const VectorStore& store, const float* query,
-                              size_t k, const TimeWindow& window) {
+                              size_t k, const TimeWindow& window,
+                              const QueryBudget* budget) {
+  if (!IsFiniteVector(query, store.dim())) {
+    SearchResult bad;
+    bad.completion = Completion::kInvalidArgument;
+    return bad;
+  }
+  // k == 0 asks for nothing and an empty/inverted window covers nothing:
+  // both are complete answers (and TopKHeap requires k >= 1).
+  if (k == 0 || window.Empty() || store.empty()) return {};
   TopKHeap heap(k);
-  if (store.empty()) return {};
+  BudgetTracker tracker(budget);
   // Line 1: BinarySearch(ts, te, D); line 2: BruteForce over the slice.
   const IdRange slice = store.FindRange(window);
-  ExactScan(store, slice, query, /*id_filter=*/nullptr, &heap);
-  return heap.ExtractSorted();
+  ExactScan(store, slice, query, /*id_filter=*/nullptr, &heap,
+            /*stats=*/nullptr, &tracker);
+  SearchResult out = heap.ExtractSorted();
+  if (tracker.Exhausted()) {
+    out.completion = Completion::kDegraded;
+    out.degrade_reason = tracker.reason();
+  }
+  return out;
 }
 
 }  // namespace mbi

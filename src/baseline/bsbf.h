@@ -11,6 +11,7 @@
 #include "core/time_window.h"
 #include "core/types.h"
 #include "core/vector_store.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace mbi {
@@ -33,15 +34,20 @@ class BsbfIndex {
   }
 
   /// Exact TkNN: the k nearest in-window vectors (fewer if the window holds
-  /// fewer than k).
-  SearchResult Search(const float* query, size_t k,
-                      const TimeWindow& window) const {
-    return Query(store_, query, k, window);
+  /// fewer than k). `budget`, when non-null, bounds the scan: on exhaustion
+  /// the result holds the exact top-k of the scanned prefix and is flagged
+  /// kDegraded.
+  SearchResult Search(const float* query, size_t k, const TimeWindow& window,
+                      const QueryBudget* budget = nullptr) const {
+    return Query(store_, query, k, window, budget);
   }
 
-  /// Algorithm 1 over any timestamp-sorted store.
+  /// Algorithm 1 over any timestamp-sorted store. k == 0, an empty/inverted
+  /// window, or an empty store return an empty kComplete result; a
+  /// non-finite query returns an empty result flagged kInvalidArgument.
   static SearchResult Query(const VectorStore& store, const float* query,
-                            size_t k, const TimeWindow& window);
+                            size_t k, const TimeWindow& window,
+                            const QueryBudget* budget = nullptr);
 
   const VectorStore& store() const { return store_; }
   size_t size() const { return store_.size(); }

@@ -19,17 +19,28 @@ SearchResult SfIndex::Search(const float* query, const TimeWindow& window,
                              const SearchParams& search, QueryContext* ctx,
                              SearchStats* stats) const {
   MBI_CHECK(built_);
+  if (!IsFiniteVector(query, store_.dim())) {
+    SearchResult bad;
+    bad.completion = Completion::kInvalidArgument;
+    return bad;
+  }
+  if (search.k == 0 || window.Empty() || store_.empty()) return {};
   TopKHeap heap(search.k);
-  if (store_.empty()) return {};
   const IdRange qrange = store_.FindRange(window);
   if (qrange.Empty()) return {};
+  BudgetTracker tracker(search.budget);
   const bool all = qrange.begin == 0 &&
                    qrange.end == static_cast<VectorId>(store_.size());
   ctx->searcher()->Search(store_, graph_,
                           IdRange{0, static_cast<VectorId>(store_.size())},
                           query, search, all ? nullptr : &qrange, ctx->rng(),
-                          &heap, stats);
-  return heap.ExtractSorted();
+                          &heap, stats, &tracker);
+  SearchResult out = heap.ExtractSorted();
+  if (tracker.Exhausted()) {
+    out.completion = Completion::kDegraded;
+    out.degrade_reason = tracker.reason();
+  }
+  return out;
 }
 
 }  // namespace mbi

@@ -35,8 +35,66 @@ struct Neighbor {
   }
 };
 
-/// Result of a (T)kNN query: up to k hits sorted by increasing distance.
-using SearchResult = std::vector<Neighbor>;
+/// How completely a query was answered.
+enum class Completion : uint8_t {
+  kComplete = 0,         ///< every selected block searched to completion
+  kDegraded = 1,         ///< budget exhausted: best-effort partial results
+  kInvalidArgument = 2,  ///< query rejected (e.g. non-finite components)
+};
+
+inline const char* CompletionName(Completion c) {
+  switch (c) {
+    case Completion::kComplete: return "complete";
+    case Completion::kDegraded: return "degraded";
+    case Completion::kInvalidArgument: return "invalid-argument";
+  }
+  return "unknown";
+}
+
+/// Which budget dimension forced a degraded answer.
+enum class DegradeReason : uint8_t {
+  kNone = 0,
+  kDeadlineExceeded = 1,  ///< wall-clock deadline expired
+  kDistanceBudget = 2,    ///< max distance computations reached
+  kHopBudget = 3,         ///< max graph hops reached
+  kCancelled = 4,         ///< CancellationToken flipped mid-query
+};
+
+inline const char* DegradeReasonName(DegradeReason r) {
+  switch (r) {
+    case DegradeReason::kNone: return "none";
+    case DegradeReason::kDeadlineExceeded: return "deadline-exceeded";
+    case DegradeReason::kDistanceBudget: return "distance-budget";
+    case DegradeReason::kHopBudget: return "hop-budget";
+    case DegradeReason::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Result of a (T)kNN query: up to k hits sorted by increasing distance,
+/// plus a completion status. Behaves as a std::vector<Neighbor> everywhere
+/// (iteration, size(), operator[], comparisons) — the status fields ride
+/// along. A default result is empty and kComplete. Degraded results are
+/// best-effort but never invalid: every neighbor they hold satisfies the
+/// query window exactly as a complete result's would.
+struct SearchResult : public std::vector<Neighbor> {
+  using Base = std::vector<Neighbor>;
+
+  SearchResult() = default;
+  SearchResult(Base v) : Base(std::move(v)) {}  // NOLINT(runtime/explicit)
+  SearchResult(std::initializer_list<Neighbor> il) : Base(il) {}
+  template <typename It>
+  SearchResult(It first, It last) : Base(first, last) {}
+
+  Completion completion = Completion::kComplete;
+  DegradeReason degrade_reason = DegradeReason::kNone;
+
+  /// Selected blocks left unsearched when the budget ran out (degraded
+  /// results only; the skipped blocks are the lowest-overlap ones).
+  size_t blocks_skipped = 0;
+
+  bool degraded() const { return completion == Completion::kDegraded; }
+};
 
 }  // namespace mbi
 

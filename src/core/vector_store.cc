@@ -1,7 +1,9 @@
 #include "core/vector_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <string>
 
 #include "util/check.h"
 
@@ -58,10 +60,21 @@ void VectorStore::EnsureChunkFor(size_t index) {
   }
 }
 
+bool IsFiniteVector(const float* v, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) {
+    if (!std::isfinite(v[i])) return false;
+  }
+  return true;
+}
+
 Status VectorStore::Append(const float* vector, Timestamp t) {
   if (write_size_ > 0 && t < last_timestamp_) {
     return Status::FailedPrecondition(
         "timestamps must be appended in non-decreasing order");
+  }
+  if (!IsFiniteVector(vector, dist_.dim())) {
+    return Status::InvalidArgument(
+        "vector has non-finite (NaN/Inf) components");
   }
   EnsureChunkFor(write_size_);
   const size_t local = write_size_ & chunk_mask_;
@@ -75,10 +88,19 @@ Status VectorStore::Append(const float* vector, Timestamp t) {
 }
 
 Status VectorStore::AppendBatch(const float* vectors,
-                                const Timestamp* timestamps, size_t count) {
+                                const Timestamp* timestamps, size_t count,
+                                size_t* rows_applied) {
   for (size_t i = 0; i < count; ++i) {
-    MBI_RETURN_IF_ERROR(Append(vectors + i * dist_.dim(), timestamps[i]));
+    Status s = Append(vectors + i * dist_.dim(), timestamps[i]);
+    if (!s.ok()) {
+      if (rows_applied != nullptr) *rows_applied = i;
+      return Status(s.code(), s.message() + " (batch row " +
+                                  std::to_string(i) + "; " +
+                                  std::to_string(i) +
+                                  " rows durably applied)");
+    }
   }
+  if (rows_applied != nullptr) *rows_applied = count;
   return Status::Ok();
 }
 

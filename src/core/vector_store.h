@@ -44,6 +44,12 @@ struct IdRange {
   }
 };
 
+/// True iff every one of the `dim` components is finite (no NaN/Inf).
+/// NaN components would poison every distance comparison they touch (NaN
+/// compares false both ways), silently corrupting graph builds and heaps —
+/// so all ingest and query entry points reject them up front.
+bool IsFiniteVector(const float* v, size_t dim);
+
 class VectorStore {
  public:
   /// Default arena capacity in vectors. Must be a power of two; smaller
@@ -61,13 +67,17 @@ class VectorStore {
   VectorStore& operator=(const VectorStore&) = delete;
 
   /// Appends one timestamped vector. Fails with FailedPrecondition if `t`
-  /// precedes the last appended timestamp. Writer-only.
+  /// precedes the last appended timestamp and with InvalidArgument if any
+  /// component is NaN/Inf. Writer-only.
   Status Append(const float* vector, Timestamp t);
 
   /// Appends `count` vectors stored row-major with per-row timestamps.
-  /// On an ordering error the already-valid prefix stays appended.
+  /// On an ordering or non-finite-component error the already-valid prefix
+  /// stays appended; `rows_applied` (when non-null) receives the number of
+  /// rows durably committed, so callers always know exactly how far the
+  /// batch got.
   Status AppendBatch(const float* vectors, const Timestamp* timestamps,
-                     size_t count);
+                     size_t count, size_t* rows_applied = nullptr);
 
   /// Number of committed vectors (acquire load; safe from any thread).
   size_t size() const { return committed_.load(std::memory_order_acquire); }

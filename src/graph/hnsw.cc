@@ -21,10 +21,13 @@ struct FarterFirst {
 
 NodeId HnswGraph::GreedyStep(const VectorSlice& rows, const float* query,
                              const DistanceFunction& dist, NodeId entry,
-                             int32_t level, SearchStats* stats) const {
+                             int32_t level, SearchStats* stats,
+                             BudgetTracker* budget) const {
+  const bool budgeted = budget != nullptr && budget->active();
   NodeId cur = entry;
   float cur_dist = dist(query, rows.row(static_cast<size_t>(cur)));
   if (stats != nullptr) ++stats->distance_evaluations;
+  if (budgeted && !budget->ChargeDistance()) return cur;
   bool improved = true;
   while (improved) {
     improved = false;
@@ -32,8 +35,10 @@ NodeId HnswGraph::GreedyStep(const VectorSlice& rows, const float* query,
       ++stats->nodes_expanded;
       stats->distance_evaluations += Links(cur, level).size();
     }
+    if (budgeted && !budget->ChargeHop()) return cur;
     for (NodeId nb : Links(cur, level)) {
       float d = dist(query, rows.row(static_cast<size_t>(nb)));
+      if (budgeted && !budget->ChargeDistance()) return cur;
       if (d < cur_dist) {
         cur = nb;
         cur_dist = d;
@@ -48,8 +53,9 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const VectorSlice& rows,
                                              const float* query,
                                              const DistanceFunction& dist,
                                              NodeId entry, size_t ef,
-                                             int32_t level,
-                                             SearchStats* stats) const {
+                                             int32_t level, SearchStats* stats,
+                                             BudgetTracker* budget) const {
+  const bool budgeted = budget != nullptr && budget->active();
   thread_local VisitedSet visited;
   visited.EnsureCapacity(num_nodes());
   visited.Reset();
@@ -60,6 +66,7 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const VectorSlice& rows,
 
   float entry_dist = dist(query, rows.row(static_cast<size_t>(entry)));
   if (stats != nullptr) ++stats->distance_evaluations;
+  if (budgeted) budget->ChargeDistance();
   frontier.push({entry_dist, static_cast<VectorId>(entry)});
   best.push({entry_dist, static_cast<VectorId>(entry)});
   visited.Set(entry);
@@ -68,11 +75,13 @@ std::vector<Neighbor> HnswGraph::SearchLayer(const VectorSlice& rows,
     Neighbor cur = frontier.top();
     frontier.pop();
     if (best.size() >= ef && cur.distance > best.top().distance) break;
+    if (budgeted && (budget->Exhausted() || !budget->ChargeHop())) break;
     if (stats != nullptr) ++stats->nodes_expanded;
     for (NodeId nb : Links(static_cast<NodeId>(cur.id), level)) {
       if (visited.TestAndSet(nb)) continue;
       float d = dist(query, rows.row(static_cast<size_t>(nb)));
       if (stats != nullptr) ++stats->distance_evaluations;
+      if (budgeted && !budget->ChargeDistance()) break;
       if (best.size() < ef || d < best.top().distance) {
         frontier.push({d, static_cast<VectorId>(nb)});
         best.push({d, static_cast<VectorId>(nb)});
@@ -194,13 +203,15 @@ void HnswGraph::Build(const VectorSlice& rows, size_t n,
 std::vector<Neighbor> HnswGraph::Search(
     const VectorSlice& rows, const float* query, const DistanceFunction& dist,
     size_t k, size_t ef, const std::pair<NodeId, NodeId>* local_filter,
-    SearchStats* stats) const {
+    SearchStats* stats, BudgetTracker* budget) const {
   std::vector<Neighbor> out;
   if (empty()) return out;
+  const bool budgeted = budget != nullptr && budget->active();
 
   NodeId entry = entry_point_;
   for (int32_t l = max_level_; l > 0; --l) {
-    entry = GreedyStep(rows, query, dist, entry, l, stats);
+    if (budgeted && budget->Exhausted()) break;
+    entry = GreedyStep(rows, query, dist, entry, l, stats, budget);
   }
 
   auto in_filter = [&](VectorId id) {
@@ -214,7 +225,7 @@ std::vector<Neighbor> HnswGraph::Search(
   size_t beam = std::max(ef, k);
   for (;;) {
     std::vector<Neighbor> cands =
-        SearchLayer(rows, query, dist, entry, beam, 0, stats);
+        SearchLayer(rows, query, dist, entry, beam, 0, stats, budget);
     out.clear();
     for (const Neighbor& c : cands) {
       if (!in_filter(c.id)) continue;
@@ -223,6 +234,7 @@ std::vector<Neighbor> HnswGraph::Search(
     }
     if (stats != nullptr) stats->filter_hits += out.size();
     if (out.size() >= k || cands.size() < beam || beam >= num_nodes()) break;
+    if (budgeted && budget->Exhausted()) break;
     beam *= 2;
   }
   return out;

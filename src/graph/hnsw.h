@@ -64,12 +64,16 @@ class HnswGraph {
   /// `local_filter`, when non-null, is a half-open local-id interval
   /// [first, second) that results must lie in. `stats`, when non-null,
   /// accumulates expansion/distance counters for the whole descent.
+  /// `budget`, when non-null and active, is charged per distance evaluation
+  /// and per expanded vertex; on exhaustion the descent stops and whatever
+  /// in-filter results the beam has found so far are returned.
   std::vector<Neighbor> Search(const VectorSlice& rows, const float* query,
                                const DistanceFunction& dist, size_t k,
                                size_t ef,
                                const std::pair<NodeId, NodeId>* local_filter
                                = nullptr,
-                               SearchStats* stats = nullptr) const;
+                               SearchStats* stats = nullptr,
+                               BudgetTracker* budget = nullptr) const;
 
   /// Convenience overload for a contiguous row-major buffer.
   std::vector<Neighbor> Search(const float* data, const float* query,
@@ -77,9 +81,10 @@ class HnswGraph {
                                size_t ef,
                                const std::pair<NodeId, NodeId>* local_filter
                                = nullptr,
-                               SearchStats* stats = nullptr) const {
+                               SearchStats* stats = nullptr,
+                               BudgetTracker* budget = nullptr) const {
     return Search(VectorSlice(data, dist.dim()), query, dist, k, ef,
-                  local_filter, stats);
+                  local_filter, stats, budget);
   }
 
   size_t num_nodes() const { return levels_.size(); }
@@ -97,7 +102,8 @@ class HnswGraph {
   // closest neighbor until no improvement.
   NodeId GreedyStep(const VectorSlice& rows, const float* query,
                     const DistanceFunction& dist, NodeId entry, int32_t level,
-                    SearchStats* stats = nullptr) const;
+                    SearchStats* stats = nullptr,
+                    BudgetTracker* budget = nullptr) const;
 
   // Beam search on one layer; returns up to ef (distance, id) candidates
   // sorted ascending.
@@ -105,7 +111,8 @@ class HnswGraph {
                                     const float* query,
                                     const DistanceFunction& dist, NodeId entry,
                                     size_t ef, int32_t level,
-                                    SearchStats* stats = nullptr) const;
+                                    SearchStats* stats = nullptr,
+                                    BudgetTracker* budget = nullptr) const;
 
   // Malkov's neighbor-selection heuristic: greedily keeps candidates that
   // are closer to the base point than to any already-kept neighbor.

@@ -54,7 +54,8 @@ size_t GraphSearcher::PoolInsert(float dist, NodeId id, size_t capacity) {
 void GraphSearcher::Search(const VectorStore& store, const KnnGraph& graph,
                            const IdRange& range, const float* query,
                            const SearchParams& params, const IdRange* id_filter,
-                           Rng* rng, TopKHeap* results, SearchStats* stats) {
+                           Rng* rng, TopKHeap* results, SearchStats* stats,
+                           BudgetTracker* budget) {
   const size_t n = static_cast<size_t>(range.size());
   MBI_CHECK(graph.num_nodes() == n);
   if (n == 0) return;
@@ -77,6 +78,8 @@ void GraphSearcher::Search(const VectorStore& store, const KnnGraph& graph,
 
   SearchStats local_stats;
 
+  const bool budgeted = budget != nullptr && budget->active();
+
   // Line 1: random entry vertices.
   const size_t entries = std::min(std::max<size_t>(1, params.num_entry_points), n);
   for (size_t i = 0; i < entries; ++i) {
@@ -84,16 +87,21 @@ void GraphSearcher::Search(const VectorStore& store, const KnnGraph& graph,
     if (queued_.TestAndSet(s)) continue;
     float d = dist(query, rows.row(static_cast<size_t>(s)));
     ++local_stats.distance_evaluations;
+    if (budgeted && !budget->ChargeDistance()) break;
     PoolInsert(d, s, bounded_capacity);
   }
 
-  // Lines 5-17: expand the nearest unexpanded candidate until none remain.
+  // Lines 5-17: expand the nearest unexpanded candidate until none remain
+  // (or, under a budget, until the budget is exhausted — the pool and the
+  // result set are valid at every iteration boundary, so stopping early
+  // degrades recall but never correctness).
   size_t scan_from = 0;
   while (scan_from < pool_.size()) {
     if (pool_[scan_from].expanded) {
       ++scan_from;
       continue;
     }
+    if (budgeted && (budget->Exhausted() || !budget->ChargeHop())) break;
     Candidate& cur = pool_[scan_from];
     cur.expanded = true;
     ++local_stats.nodes_expanded;
@@ -131,6 +139,7 @@ void GraphSearcher::Search(const VectorStore& store, const KnnGraph& graph,
       if (queued_.Test(nb)) continue;
       float d = dist(query, rows.row(static_cast<size_t>(nb)));
       ++local_stats.distance_evaluations;
+      if (budgeted && !budget->ChargeDistance()) break;
       if (restrict_range && !(d < bound)) {
         ++local_stats.pool_rejects;
         continue;

@@ -18,6 +18,7 @@
 #include "core/types.h"
 #include "core/vector_store.h"
 #include "graph/knn_graph.h"
+#include "util/budget.h"
 #include "util/rng.h"
 #include "util/visited_set.h"
 
@@ -39,6 +40,12 @@ struct SearchParams {
   /// Number of random entry vertices. The paper samples one; a few extra
   /// seeds make small-degree graphs robust at negligible cost.
   size_t num_entry_points = 1;
+
+  /// Optional per-query execution budget (deadline, work caps,
+  /// cancellation), caller-owned and shared by every block the query
+  /// touches. Null = unbounded (the paper's semantics). On exhaustion the
+  /// query returns best-effort partial results flagged kDegraded.
+  const QueryBudget* budget = nullptr;
 };
 
 /// Counters describing one search (used by benches, tests and obs traces).
@@ -78,10 +85,16 @@ class GraphSearcher {
   /// the last-ordered vector before the end timestamp.
   ///
   /// Results are appended to `results` (callers merge across blocks).
+  ///
+  /// `budget`, when non-null and active, is charged one hop per expanded
+  /// vertex and one unit per distance evaluation; the walk stops as soon as
+  /// the tracker reports exhaustion. Results gathered up to that point stay
+  /// valid (only in-window vertices ever enter `results`).
   void Search(const VectorStore& store, const KnnGraph& graph,
               const IdRange& range, const float* query,
               const SearchParams& params, const IdRange* id_filter,
-              Rng* rng, TopKHeap* results, SearchStats* stats = nullptr);
+              Rng* rng, TopKHeap* results, SearchStats* stats = nullptr,
+              BudgetTracker* budget = nullptr);
 
  private:
   struct Candidate {

@@ -50,11 +50,14 @@ class BlockKnnIndex {
   /// no restriction; otherwise only global ids in [begin, end) qualify (the
   /// id-range image of the query time window under the timestamp-sorted
   /// store). `searcher` provides reusable scratch (may be ignored by
-  /// implementations that need none).
+  /// implementations that need none). `budget`, when non-null and active,
+  /// is charged for the work done; implementations stop early once it is
+  /// exhausted, leaving `results` with a valid best-effort subset.
   virtual void Search(const VectorStore& store, const float* query,
                       const SearchParams& params, const IdRange* id_filter,
                       GraphSearcher* searcher, Rng* rng, TopKHeap* results,
-                      SearchStats* stats) const = 0;
+                      SearchStats* stats,
+                      BudgetTracker* budget = nullptr) const = 0;
 
   /// Bytes of index structure (excludes the referenced vector data).
   virtual size_t MemoryBytes() const = 0;

@@ -21,7 +21,7 @@ class FlatBlockIndex : public BlockKnnIndex {
   void Search(const VectorStore& store, const float* query,
               const SearchParams& params, const IdRange* id_filter,
               GraphSearcher* searcher, Rng* rng, TopKHeap* results,
-              SearchStats* stats) const override;
+              SearchStats* stats, BudgetTracker* budget) const override;
 
   size_t MemoryBytes() const override { return sizeof(range_); }
 
@@ -36,10 +36,13 @@ class FlatBlockIndex : public BlockKnnIndex {
 
 /// Exact top-k scan over the intersection of `range` and `id_filter` (or
 /// all of `range` when `id_filter` is null). Shared by FlatBlockIndex, the
-/// non-full leaf path of MBI, and the BSBF baseline.
+/// non-full leaf path of MBI, and the BSBF baseline. Under an active
+/// `budget` the scan charges per row (deadline checked every sub-batch) and
+/// stops early on exhaustion — the heap then holds the exact top-k of the
+/// scanned prefix.
 void ExactScan(const VectorStore& store, const IdRange& range,
                const float* query, const IdRange* id_filter, TopKHeap* results,
-               SearchStats* stats = nullptr);
+               SearchStats* stats = nullptr, BudgetTracker* budget = nullptr);
 
 }  // namespace mbi
 

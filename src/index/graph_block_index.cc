@@ -20,10 +20,10 @@ GraphBlockIndex::GraphBlockIndex(const VectorStore& store, const IdRange& range,
 void GraphBlockIndex::Search(const VectorStore& store, const float* query,
                              const SearchParams& params,
                              const IdRange* id_filter, GraphSearcher* searcher,
-                             Rng* rng, TopKHeap* results,
-                             SearchStats* stats) const {
+                             Rng* rng, TopKHeap* results, SearchStats* stats,
+                             BudgetTracker* budget) const {
   searcher->Search(store, graph_, range_, query, params, id_filter, rng,
-                   results, stats);
+                   results, stats, budget);
 }
 
 Status GraphBlockIndex::Save(BinaryWriter* writer) const {

@@ -25,7 +25,8 @@ void HnswBlockIndex::Search(const VectorStore& store, const float* query,
                             const SearchParams& params,
                             const IdRange* id_filter,
                             GraphSearcher* /*searcher*/, Rng* /*rng*/,
-                            TopKHeap* results, SearchStats* stats) const {
+                            TopKHeap* results, SearchStats* stats,
+                            BudgetTracker* budget) const {
   // Translate the global id filter into block-local coordinates.
   std::pair<NodeId, NodeId> local_filter;
   const std::pair<NodeId, NodeId>* filter_ptr = nullptr;
@@ -40,7 +41,7 @@ void HnswBlockIndex::Search(const VectorStore& store, const float* query,
 
   std::vector<Neighbor> hits = hnsw_.Search(
       VectorSlice(store, range_.begin), query, store.distance(), params.k,
-      params.max_candidates, filter_ptr, stats);
+      params.max_candidates, filter_ptr, stats, budget);
   for (const Neighbor& nb : hits) {
     results->Push(nb.distance, range_.begin + nb.id);
   }

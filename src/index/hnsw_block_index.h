@@ -24,7 +24,7 @@ class HnswBlockIndex : public BlockKnnIndex {
   void Search(const VectorStore& store, const float* query,
               const SearchParams& params, const IdRange* id_filter,
               GraphSearcher* searcher, Rng* rng, TopKHeap* results,
-              SearchStats* stats) const override;
+              SearchStats* stats, BudgetTracker* budget) const override;
 
   size_t MemoryBytes() const override { return hnsw_.MemoryBytes(); }
 

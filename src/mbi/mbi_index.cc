@@ -57,6 +57,11 @@ struct BuildMetrics {
 struct QueryMetrics {
   obs::Counter* queries;
   obs::Counter* empty_queries;
+  obs::Counter* degraded;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* cancelled;
+  obs::Counter* shed;
+  obs::Counter* invalid;
   obs::Histogram* seconds;
   obs::Histogram* blocks_searched;
   obs::Histogram* selectivity;
@@ -69,6 +74,19 @@ struct QueryMetrics {
           reg.GetCounter("mbi_queries_total", "TkNN queries answered"),
           reg.GetCounter("mbi_queries_empty_total",
                          "queries whose window matched no vectors"),
+          reg.GetCounter("mbi_query_degraded_total",
+                         "queries returning partial results after budget "
+                         "exhaustion (any reason)"),
+          reg.GetCounter("mbi_query_deadline_exceeded_total",
+                         "queries degraded specifically by deadline expiry"),
+          reg.GetCounter("mbi_query_cancelled_total",
+                         "queries stopped by their cancellation token"),
+          reg.GetCounter("mbi_query_shed_total",
+                         "queries rejected by admission control "
+                         "(kResourceExhausted)"),
+          reg.GetCounter("mbi_query_invalid_total",
+                         "queries rejected at the API boundary (non-finite "
+                         "vector components)"),
           reg.GetHistogram("mbi_query_seconds",
                            obs::Histogram::ExponentialBounds(1e-6, 4.0, 14),
                            "end-to-end TkNN query latency"),
@@ -103,6 +121,10 @@ Status MbiParams::Validate() const {
   if (num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  if (shed_retry_after_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "shed_retry_after_seconds must be >= 0");
+  }
   return Status::Ok();
 }
 
@@ -129,12 +151,29 @@ Status MbiIndex::Add(const float* vector, Timestamp t) {
   const int64_t n = static_cast<int64_t>(store_.size());
   if (n % params_.leaf_size == 0) {
     // This insert completed leaf number n / S_L: run the merge cascade
-    // (Algorithm 3 lines 4-14).
+    // (Algorithm 3 lines 4-14), deferring work beyond the per-Add cap.
     metrics.leaf_fills->Increment();
     const std::vector<TreeNode> cascade =
         BlockTreeShape::MergeCascade(n / params_.leaf_size);
     metrics.cascade_depth->Observe(static_cast<double>(cascade.size()));
-    BuildNodes(cascade);
+    pending_build_.insert(pending_build_.end(), cascade.begin(),
+                          cascade.end());
+  }
+  if (!pending_build_.empty()) {
+    // Backpressure: each Add pays for at most max_blocks_per_add builds (0 =
+    // all). Deferred blocks stay queued in creation order, so blocks_ is
+    // always a creation-order prefix and queries exact-scan the uncovered
+    // tail via the pseudo-leaf.
+    size_t take = pending_build_.size();
+    if (params_.max_blocks_per_add != 0) {
+      take = std::min(take, params_.max_blocks_per_add);
+    }
+    std::vector<TreeNode> nodes(pending_build_.begin(),
+                                pending_build_.begin() +
+                                    static_cast<int64_t>(take));
+    pending_build_.erase(pending_build_.begin(),
+                         pending_build_.begin() + static_cast<int64_t>(take));
+    BuildNodes(nodes);
   }
   const double nv = static_cast<double>(store_.size());
   metrics.index_vectors->Add(nv - gauge_vectors_);
@@ -143,14 +182,24 @@ Status MbiIndex::Add(const float* vector, Timestamp t) {
 }
 
 Status MbiIndex::AddBatch(const float* vectors, const Timestamp* timestamps,
-                          size_t count, bool defer_builds) {
+                          size_t count, bool defer_builds,
+                          size_t* rows_applied) {
   if (!defer_builds) {
     for (size_t i = 0; i < count; ++i) {
-      MBI_RETURN_IF_ERROR(Add(vectors + i * store_.dim(), timestamps[i]));
+      Status s = Add(vectors + i * store_.dim(), timestamps[i]);
+      if (!s.ok()) {
+        if (rows_applied != nullptr) *rows_applied = i;
+        return Status(s.code(), s.message() + " (batch row " +
+                                    std::to_string(i) + "; " +
+                                    std::to_string(i) +
+                                    " rows durably applied)");
+      }
     }
+    if (rows_applied != nullptr) *rows_applied = count;
     return Status::Ok();
   }
-  MBI_RETURN_IF_ERROR(store_.AppendBatch(vectors, timestamps, count));
+  MBI_RETURN_IF_ERROR(store_.AppendBatch(vectors, timestamps, count,
+                                         rows_applied));
   const BuildMetrics& metrics = BuildMetrics::Get();
   metrics.vectors_added->Increment(count);
   const double nv = static_cast<double>(store_.size());
@@ -160,7 +209,17 @@ Status MbiIndex::AddBatch(const float* vectors, const Timestamp* timestamps,
   return Status::Ok();
 }
 
+void MbiIndex::FinishPendingBuilds() {
+  if (pending_build_.empty()) return;
+  std::vector<TreeNode> nodes(pending_build_.begin(), pending_build_.end());
+  pending_build_.clear();
+  BuildNodes(nodes);
+}
+
 void MbiIndex::BuildPendingBlocks() {
+  // Recomputed from the tree shape, so this also drains any builds deferred
+  // by the per-Add cap — clear the queue to avoid building them twice.
+  pending_build_.clear();
   const BlockTreeShape s = shape();
   std::vector<TreeNode> pending;
   for (const TreeNode& node : s.AllFullNodes()) {
@@ -212,14 +271,29 @@ void MbiIndex::BuildNodes(const std::vector<TreeNode>& nodes) {
 
 void MbiIndex::PublishSnapshot() {
   auto snap = std::make_shared<MbiSnapshot>();
-  // blocks_ holds exactly the full blocks of the covered prefix; the covered
-  // bound is whatever multiple of S_L those blocks span. Invariant:
-  // blocks_.size() == BlocksForLeaves(covered_end / leaf_size).
+  // blocks_ is a creation-order prefix of the tree's blocks. The covered
+  // bound is the largest leaf count m whose full tree is materialized:
+  // BlocksForLeaves(m) <= blocks_.size(). Without ingest backpressure every
+  // full leaf is covered (blocks_.size() == BlocksForLeaves(full_leaves));
+  // with a per-Add cap the deferred suffix stays uncovered and queries
+  // exact-scan it as part of the committed tail.
   const int64_t full_leaves =
       static_cast<int64_t>(store_.size()) / params_.leaf_size;
-  snap->covered_end = full_leaves * params_.leaf_size;
-  MBI_DCHECK(static_cast<int64_t>(blocks_.size()) ==
-             BlockTreeShape::BlocksForLeaves(full_leaves));
+  int64_t lo = 0, hi = full_leaves;  // BlocksForLeaves is monotone in m
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo + 1) / 2;
+    if (BlockTreeShape::BlocksForLeaves(mid) <=
+        static_cast<int64_t>(blocks_.size())) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  snap->covered_end = lo * params_.leaf_size;
+  MBI_DCHECK(pending_build_.empty()
+                 ? static_cast<int64_t>(blocks_.size()) ==
+                       BlockTreeShape::BlocksForLeaves(full_leaves)
+                 : lo <= full_leaves);
   snap->blocks = blocks_;
   {
     std::shared_ptr<const MbiSnapshot> published = std::move(snap);
@@ -320,6 +394,39 @@ SearchResult MbiIndex::SearchWithTau(const float* query,
                     trace);
 }
 
+Result<SearchResult> MbiIndex::SearchAdmitted(const float* query,
+                                              const TimeWindow& window,
+                                              const SearchParams& search,
+                                              QueryContext* ctx,
+                                              MbiQueryStats* stats,
+                                              obs::QueryTrace* trace) const {
+  const size_t limit = params_.max_inflight_queries;
+  const size_t mine = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (limit != 0 && mine > limit) {
+    // Shed without touching the index: under overload, a fast rejection the
+    // caller can retry beats joining an unbounded queue.
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    QueryMetrics::Get().shed->Increment();
+    return Status::ResourceExhausted(
+        "query shed: " + std::to_string(limit) +
+        " queries already in flight; retry after " +
+        std::to_string(params_.shed_retry_after_seconds) + " s");
+  }
+  // Track the admission high-water mark (tests assert it never exceeds the
+  // configured limit).
+  size_t seen = inflight_high_water_.load(std::memory_order_relaxed);
+  while (mine > seen && !inflight_high_water_.compare_exchange_weak(
+                            seen, mine, std::memory_order_relaxed)) {
+  }
+  SearchResult result = Search(query, window, search, ctx, stats, trace);
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (result.completion == Completion::kInvalidArgument) {
+    return Status::InvalidArgument(
+        "query vector has non-finite (NaN/Inf) components");
+  }
+  return result;
+}
+
 SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
                                   const TimeWindow& window,
                                   const SearchParams& search, double tau,
@@ -335,6 +442,24 @@ SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
     trace->tau = tau;
     trace->params = search;
   }
+
+  // API-boundary validation, before any work: a NaN/Inf query would poison
+  // every distance comparison (NaN compares false both ways), and k == 0 or
+  // an empty/inverted window asks for nothing — a complete answer.
+  if (!IsFiniteVector(query, store_.dim())) {
+    metrics.invalid->Increment();
+    SearchResult bad;
+    bad.completion = Completion::kInvalidArgument;
+    if (trace != nullptr) {
+      trace->budget.completion = bad.completion;
+      trace->total_seconds = query_timer.ElapsedSeconds();
+    }
+    return bad;
+  }
+  if (search.k == 0) return {};
+
+  BudgetTracker budget(search.budget);
+  const bool bounded = budget.bounded();
 
   TopKHeap heap(search.k);
   // Per-query rollup, aggregated whether or not the caller asked for stats;
@@ -361,12 +486,31 @@ SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
                                static_cast<double>(view.num_vectors));
 
   const MbiSnapshot& snap = *view.snapshot;
-  const std::vector<SelectedBlock> selected =
+  std::vector<SelectedBlock> selected =
       SelectForView(snap.covered_end, static_cast<int64_t>(view.num_vectors),
                     qrange, tau, trace != nullptr ? &trace->selection
                                                   : nullptr);
 
-  for (const SelectedBlock& sel : selected) {
+  // Degradation policy: under a budget, search high-overlap blocks first so
+  // that if the budget runs dry the blocks skipped are the ones expected to
+  // contribute least (lowest r_o). Unbudgeted queries keep selection order.
+  if (bounded) {
+    std::stable_sort(selected.begin(), selected.end(),
+                     [](const SelectedBlock& a, const SelectedBlock& b) {
+                       return a.overlap_ratio > b.overlap_ratio;
+                     });
+  }
+
+  size_t blocks_skipped = 0;
+  for (size_t sel_i = 0; sel_i < selected.size(); ++sel_i) {
+    const SelectedBlock& sel = selected[sel_i];
+    if (bounded) {
+      budget.CheckNow();
+      if (budget.Exhausted()) {
+        blocks_skipped = selected.size() - sel_i;
+        break;
+      }
+    }
     // If the block lies entirely inside the query range, drop the filter:
     // every vertex qualifies, so the search degenerates to plain kNN.
     const bool fully_covered =
@@ -375,6 +519,15 @@ SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
 
     bool use_graph = sel.has_graph;
     SearchParams block_search = search;
+    if (bounded) {
+      // Shrink-ef-first: as the budget drains, later blocks explore with a
+      // proportionally smaller candidate pool (never below k) before any
+      // block is skipped outright.
+      block_search.max_candidates = std::max(
+          search.k, static_cast<size_t>(static_cast<double>(
+                        block_search.max_candidates) *
+                    budget.FractionRemaining()));
+    }
     if (use_graph && params_.adaptive_block_search) {
       IdRange scan = sel.range;
       scan.begin = std::max(scan.begin, qrange.begin);
@@ -421,7 +574,7 @@ SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
       TopKHeap block_heap(search.k);
       snap.blocks[static_cast<size_t>(idx)]->Search(
           store_, query, block_search, filter, ctx->searcher(), ctx->rng(),
-          &block_heap, &block_stats);
+          &block_heap, &block_stats, bounded ? &budget : nullptr);
       block_hits = block_heap.contents().size();
       for (const Neighbor& nb : block_heap.contents()) {
         heap.Push(nb.distance, nb.id);
@@ -430,7 +583,8 @@ SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
     } else {
       // Non-full tail leaf (or adaptive fallback): Algorithm 4 line 6 (BSBF
       // inside the block).
-      ExactScan(store_, sel.range, query, filter, &heap, &block_stats);
+      ExactScan(store_, sel.range, query, filter, &heap, &block_stats,
+                bounded ? &budget : nullptr);
       block_hits = block_stats.filter_hits;
       ++qstats.exact_blocks;
     }
@@ -441,8 +595,8 @@ SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
           block_stats, block_timer.ElapsedSeconds(), block_hits});
     }
   }
-  qstats.blocks_searched = selected.size();
-  // Every selected block is searched exactly one way; a mismatch means a
+  qstats.blocks_searched = selected.size() - blocks_skipped;
+  // Every searched block is searched exactly one way; a mismatch means a
   // counting bug upstream (e.g. an adaptive-fallback branch not recorded).
   MBI_DCHECK(qstats.blocks_searched ==
              qstats.graph_blocks + qstats.exact_blocks);
@@ -454,9 +608,36 @@ SearchResult MbiIndex::SearchView(const ReadView& view, const float* query,
       static_cast<double>(qstats.search.distance_evaluations));
 
   SearchResult result = heap.ExtractSorted();
+  if (budget.Exhausted()) {
+    result.completion = Completion::kDegraded;
+    result.degrade_reason = budget.reason();
+    result.blocks_skipped = blocks_skipped;
+    metrics.degraded->Increment();
+    if (budget.reason() == DegradeReason::kDeadlineExceeded) {
+      metrics.deadline_exceeded->Increment();
+    } else if (budget.reason() == DegradeReason::kCancelled) {
+      metrics.cancelled->Increment();
+    }
+  }
   if (trace != nullptr) {
     trace->total_seconds = elapsed;
     trace->results_returned = result.size();
+    obs::BudgetTrace& bt = trace->budget;
+    bt.bounded = bounded;
+    if (search.budget != nullptr) {
+      bt.max_distance_evals = search.budget->max_distance_evals;
+      bt.max_hops = search.budget->max_hops;
+      if (!search.budget->deadline.infinite()) {
+        // Total allowance as seen at query start: remaining + elapsed.
+        bt.deadline_seconds =
+            search.budget->deadline.RemainingSeconds() + elapsed;
+      }
+    }
+    bt.distance_evals_spent = budget.distance_evals();
+    bt.hops_spent = budget.hops();
+    bt.blocks_skipped = blocks_skipped;
+    bt.completion = result.completion;
+    bt.degrade_reason = result.degrade_reason;
   }
   if (stats != nullptr) {
     stats->blocks_searched += qstats.blocks_searched;

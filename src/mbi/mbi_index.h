@@ -11,6 +11,7 @@
 #define MBI_MBI_MBI_INDEX_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +63,23 @@ struct MbiParams {
   /// as BSBF on short windows at any scale; see bench_ablation_adaptive.
   bool adaptive_block_search = false;
   double adaptive_scan_factor = 1.0;
+
+  /// Admission control: maximum queries in flight through SearchAdmitted
+  /// at once (0 = unlimited). Excess queries are shed immediately with
+  /// kResourceExhausted instead of queueing — bounded work beats unbounded
+  /// latency under overload.
+  size_t max_inflight_queries = 0;
+
+  /// Retry-after hint carried in the shed Status message.
+  double shed_retry_after_seconds = 0.01;
+
+  /// Ingest backpressure: maximum block indexes built by one Add (0 =
+  /// unlimited, the paper's semantics — a leaf completion builds its whole
+  /// merge cascade before returning). When capped, overflow builds are
+  /// deferred to later Adds (or FinishPendingBuilds), bounding the writer's
+  /// worst-case stall; queries stay exact over the not-yet-covered tail via
+  /// the pseudo-leaf scan.
+  size_t max_blocks_per_add = 0;
 
   /// Validates ranges; returns InvalidArgument on nonsense values.
   Status Validate() const;
@@ -146,17 +164,51 @@ class MbiIndex {
   /// Bulk-loads `count` vectors. With `defer_builds`, block construction is
   /// postponed until the end and all pending blocks are built concurrently
   /// on the worker pool — the paper's parallel construction mode.
+  /// On a mid-batch failure the already-valid prefix stays committed;
+  /// `rows_applied` (when non-null) receives the number of rows durably
+  /// applied whether the batch succeeds or fails.
   Status AddBatch(const float* vectors, const Timestamp* timestamps,
-                  size_t count, bool defer_builds = false);
+                  size_t count, bool defer_builds = false,
+                  size_t* rows_applied = nullptr);
+
+  /// Drains every deferred block build (see MbiParams::max_blocks_per_add).
+  /// No-op when nothing is pending. Writer-only, like Add.
+  void FinishPendingBuilds();
+
+  /// Deferred block builds currently queued (writer-side bookkeeping).
+  size_t pending_builds() const { return pending_build_.size(); }
 
   /// Answers a TkNN query (Algorithm 4): top-k vectors nearest to `query`
-  /// with timestamp in `window`. `search` carries k, M_C and epsilon.
+  /// with timestamp in `window`. `search` carries k, M_C and epsilon, and
+  /// optionally a QueryBudget (deadline / work caps / cancellation): on
+  /// exhaustion the result is a valid best-effort subset flagged kDegraded.
   /// `trace`, when non-null, is filled with a full EXPLAIN record (selection
-  /// decisions, per-block counters and timings) — see obs/trace.h.
+  /// decisions, per-block counters, timings and budget spend) — see
+  /// obs/trace.h.
   SearchResult Search(const float* query, const TimeWindow& window,
                       const SearchParams& search, QueryContext* ctx,
                       MbiQueryStats* stats = nullptr,
                       obs::QueryTrace* trace = nullptr) const;
+
+  /// Search behind the admission controller: at most
+  /// params().max_inflight_queries run concurrently; excess queries are shed
+  /// with kResourceExhausted (message carries a retry-after hint) without
+  /// touching the index. With max_inflight_queries == 0 this is Search with
+  /// in-flight accounting only.
+  Result<SearchResult> SearchAdmitted(const float* query,
+                                      const TimeWindow& window,
+                                      const SearchParams& search,
+                                      QueryContext* ctx,
+                                      MbiQueryStats* stats = nullptr,
+                                      obs::QueryTrace* trace = nullptr) const;
+
+  /// Queries currently inside SearchAdmitted / the maximum ever observed.
+  size_t inflight_queries() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  size_t inflight_high_water() const {
+    return inflight_high_water_.load(std::memory_order_relaxed);
+  }
 
   /// Search with a one-off block-selection threshold instead of
   /// params().tau. Tau is a pure query-time parameter (the block structure
@@ -287,6 +339,13 @@ class MbiIndex {
   // Writer's working copy, in creation order. Blocks are append-only and
   // individually immutable once built; snapshots share ownership of them.
   std::vector<std::shared_ptr<const BlockKnnIndex>> blocks_;
+
+  // Builds deferred by the per-Add cap, in creation order (writer-only).
+  std::deque<TreeNode> pending_build_;
+
+  // Admission-control accounting (SearchAdmitted).
+  mutable std::atomic<size_t> inflight_{0};
+  mutable std::atomic<size_t> inflight_high_water_{0};
 
   // The published snapshot. Guarded by a mutex rather than
   // std::atomic<shared_ptr>: libstdc++'s _Sp_atomic unlocks its spinlock in

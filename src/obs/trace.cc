@@ -103,6 +103,27 @@ std::string QueryTrace::ToString() const {
          std::to_string(total.nodes_expanded) + "  results=" +
          std::to_string(results_returned) + "  time=" +
          FormatFloat(total_seconds * 1e3, 3) + " ms\n";
+
+  if (budget.bounded) {
+    out += "budget: completion=" + std::string(CompletionName(
+               budget.completion));
+    if (budget.degrade_reason != DegradeReason::kNone) {
+      out += " (" + std::string(DegradeReasonName(budget.degrade_reason)) +
+             ")";
+    }
+    if (budget.deadline_seconds > 0.0) {
+      out += "  deadline=" + FormatFloat(budget.deadline_seconds * 1e3, 3) +
+             " ms";
+    }
+    out += "  spent: dist-evals=" +
+           std::to_string(budget.distance_evals_spent);
+    if (budget.max_distance_evals != 0) {
+      out += "/" + std::to_string(budget.max_distance_evals);
+    }
+    out += " hops=" + std::to_string(budget.hops_spent);
+    if (budget.max_hops != 0) out += "/" + std::to_string(budget.max_hops);
+    out += "  blocks-skipped=" + std::to_string(budget.blocks_skipped) + "\n";
+  }
   return out;
 }
 
@@ -168,6 +189,28 @@ std::string QueryTrace::ToJson() const {
     w.EndObject();
   }
   w.EndArray();
+
+  w.Key("budget");
+  w.BeginObject();
+  w.Key("bounded");
+  w.Bool(budget.bounded);
+  w.Key("completion");
+  w.String(CompletionName(budget.completion));
+  w.Key("degrade_reason");
+  w.String(DegradeReasonName(budget.degrade_reason));
+  w.Key("deadline_seconds");
+  w.Double(budget.deadline_seconds);
+  w.Key("max_distance_evals");
+  w.Uint(budget.max_distance_evals);
+  w.Key("max_hops");
+  w.Uint(budget.max_hops);
+  w.Key("distance_evals_spent");
+  w.Uint(budget.distance_evals_spent);
+  w.Key("hops_spent");
+  w.Uint(budget.hops_spent);
+  w.Key("blocks_skipped");
+  w.Uint(budget.blocks_skipped);
+  w.EndObject();
 
   w.Key("totals");
   w.BeginObject();

@@ -39,6 +39,20 @@ struct BlockTrace {
   size_t hits = 0;             ///< results the block offered to the merge
 };
 
+/// Budget spend and outcome of one traced query (all zeros / kComplete for
+/// unbudgeted queries).
+struct BudgetTrace {
+  bool bounded = false;            ///< the query carried an active budget
+  double deadline_seconds = 0.0;   ///< total allowance; 0 = no deadline
+  uint64_t max_distance_evals = 0;  ///< 0 = unlimited
+  uint64_t max_hops = 0;            ///< 0 = unlimited
+  uint64_t distance_evals_spent = 0;
+  uint64_t hops_spent = 0;
+  size_t blocks_skipped = 0;       ///< selected blocks dropped on exhaustion
+  Completion completion = Completion::kComplete;
+  DegradeReason degrade_reason = DegradeReason::kNone;
+};
+
 /// EXPLAIN record of one MBI query.
 struct QueryTrace {
   // Query parameters.
@@ -56,6 +70,9 @@ struct QueryTrace {
   // Whole-query rollup.
   double total_seconds = 0.0;
   size_t results_returned = 0;
+
+  // Budget spend and degradation outcome.
+  BudgetTrace budget;
 
   /// Sum of per-block counters (equals MbiQueryStats.search).
   SearchStats TotalStats() const;

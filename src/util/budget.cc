@@ -1,0 +1,93 @@
+#include "util/budget.h"
+
+#include <algorithm>
+
+namespace mbi {
+
+namespace budget_testing {
+
+namespace {
+// Process-wide injected per-distance delay (test hook). Read once per
+// tracker so an in-flight query sees a consistent value.
+std::atomic<int64_t> g_distance_delay_nanos{0};
+}  // namespace
+
+void SetInjectedDistanceDelayNanos(int64_t nanos) {
+  g_distance_delay_nanos.store(nanos, std::memory_order_release);
+}
+
+int64_t InjectedDistanceDelayNanos() {
+  return g_distance_delay_nanos.load(std::memory_order_acquire);
+}
+
+}  // namespace budget_testing
+
+BudgetTracker::BudgetTracker(const QueryBudget* budget)
+    : budget_(budget), start_(Deadline::Clock::now()) {
+  if (budget_ == nullptr) return;
+  delay_nanos_ = budget_testing::InjectedDistanceDelayNanos();
+  if (!budget_->deadline.infinite()) {
+    deadline_total_seconds_ = budget_->deadline.RemainingSeconds();
+    if (deadline_total_seconds_ <= 0.0) {
+      exhausted_ = true;
+      reason_ = DegradeReason::kDeadlineExceeded;
+    }
+  }
+  // With an injected delay each distance evaluation is artificially slow, so
+  // the amortized deadline poll must tighten or the overshoot would scale
+  // with the delay instead of with the real cost of a clock read.
+  if (delay_nanos_ > 0) check_interval_ = 1;
+}
+
+void BudgetTracker::SlowCheck() {
+  since_check_ = 0;
+  if (budget_->cancellation != nullptr && budget_->cancellation->Cancelled()) {
+    exhausted_ = true;
+    reason_ = DegradeReason::kCancelled;
+    return;
+  }
+  if (budget_->deadline.Expired()) {
+    exhausted_ = true;
+    reason_ = DegradeReason::kDeadlineExceeded;
+  }
+}
+
+void BudgetTracker::InjectDelay(uint64_t n) {
+  // Busy-wait: sleep granularity (~50us+) would swamp microsecond-scale
+  // injected delays and make overshoot assertions meaningless.
+  const auto until =
+      Deadline::Clock::now() +
+      std::chrono::nanoseconds(delay_nanos_ * static_cast<int64_t>(n));
+  while (Deadline::Clock::now() < until) {
+  }
+}
+
+double BudgetTracker::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Deadline::Clock::now() - start_)
+      .count();
+}
+
+double BudgetTracker::FractionRemaining() const {
+  if (budget_ == nullptr) return 1.0;
+  if (exhausted_) return 0.0;
+  double frac = 1.0;
+  if (budget_->max_distance_evals != 0) {
+    const uint64_t max = budget_->max_distance_evals;
+    const uint64_t used = std::min(distance_evals_, max);
+    frac = std::min(frac, static_cast<double>(max - used) /
+                              static_cast<double>(max));
+  }
+  if (budget_->max_hops != 0) {
+    const uint64_t max = budget_->max_hops;
+    const uint64_t used = std::min(hops_, max);
+    frac = std::min(frac, static_cast<double>(max - used) /
+                              static_cast<double>(max));
+  }
+  if (deadline_total_seconds_ > 0.0) {
+    frac = std::min(frac, budget_->deadline.RemainingSeconds() /
+                              deadline_total_seconds_);
+  }
+  return frac;
+}
+
+}  // namespace mbi

@@ -25,6 +25,7 @@ enum class StatusCode {
   kIoError,
   kDataLoss,
   kInternal,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -38,6 +39,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -76,6 +78,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Transient overload: the caller should back off and retry (admission
+  /// control load-shedding; the message carries a retry-after hint).
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

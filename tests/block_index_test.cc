@@ -146,7 +146,7 @@ TEST(FlatBlockIndexTest, IsExactWithinSlice) {
   SearchParams sp;
   sp.k = 10;
   index.Search(store, data.vector(0), sp, nullptr, &searcher, &rng, &heap,
-               nullptr);
+               nullptr, nullptr);
   SearchResult got = heap.ExtractSorted();
 
   // Reference: BSBF over exactly the slice's time range.

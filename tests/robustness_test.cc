@@ -3,11 +3,13 @@
 // the per-module tests do not reach.
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "baseline/bsbf.h"
+#include "baseline/sf_index.h"
 #include "data/synthetic.h"
 #include "eval/recall.h"
 #include "graph/exact_builder.h"
@@ -365,6 +367,129 @@ TEST(MbiEdgeTest, InvertedWindowReturnsNothing) {
   QueryContext ctx;
   SearchParams sp;
   EXPECT_TRUE(index.Search(v, TimeWindow{10, 5}, sp, &ctx).empty());
+}
+
+// ------------------------------------- input validation at the API boundary
+
+class InputValidationFixture : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 4;
+
+  void SetUp() override {
+    for (int i = 0; i < 20; ++i) {
+      for (size_t d = 0; d < kDim; ++d) {
+        good_.push_back(static_cast<float>(i + 1) * 0.25f +
+                        static_cast<float>(d));
+      }
+      ts_.push_back(i);
+    }
+    nan_query_.assign(kDim, 1.0f);
+    nan_query_[2] = std::numeric_limits<float>::quiet_NaN();
+    inf_query_.assign(kDim, 1.0f);
+    inf_query_[0] = std::numeric_limits<float>::infinity();
+  }
+
+  std::vector<float> good_, nan_query_, inf_query_;
+  std::vector<Timestamp> ts_;
+};
+
+TEST_F(InputValidationFixture, AddRejectsNonFiniteVectors) {
+  MbiParams p;
+  p.leaf_size = 4;
+  MbiIndex index(kDim, Metric::kL2, p);
+  EXPECT_EQ(index.Add(nan_query_.data(), 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.Add(inf_query_.data(), 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.size(), 0u);  // nothing partially applied
+
+  BsbfIndex bsbf(kDim, Metric::kL2);
+  EXPECT_EQ(bsbf.Add(nan_query_.data(), 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(InputValidationFixture, AddBatchReportsRowsDurablyApplied) {
+  MbiParams p;
+  p.leaf_size = 4;
+  MbiIndex index(kDim, Metric::kL2, p);
+
+  // Poison row 13 of 20: the first 13 rows stay applied and are queryable.
+  std::vector<float> batch = good_;
+  batch[13 * kDim + 1] = std::numeric_limits<float>::quiet_NaN();
+  size_t applied = 999;
+  Status s = index.AddBatch(batch.data(), ts_.data(), ts_.size(), false,
+                            &applied);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(applied, 13u);
+  EXPECT_EQ(index.size(), 13u);
+  EXPECT_NE(s.message().find("13 rows durably applied"), std::string::npos)
+      << s.message();
+
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 3;
+  SearchResult r = index.Search(good_.data(), TimeWindow::All(), sp, &ctx);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.completion, Completion::kComplete);
+}
+
+TEST_F(InputValidationFixture, SearchRejectsNonFiniteQueriesEverywhere) {
+  MbiParams p;
+  p.leaf_size = 4;
+  MbiIndex index(kDim, Metric::kL2, p);
+  ASSERT_TRUE(index.AddBatch(good_.data(), ts_.data(), ts_.size()).ok());
+  QueryContext ctx;
+  SearchParams sp;
+  sp.k = 3;
+  SearchResult r = index.Search(nan_query_.data(), TimeWindow::All(), sp,
+                                &ctx);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.completion, Completion::kInvalidArgument);
+  r = index.Search(inf_query_.data(), TimeWindow::All(), sp, &ctx);
+  EXPECT_EQ(r.completion, Completion::kInvalidArgument);
+
+  BsbfIndex bsbf(kDim, Metric::kL2);
+  ASSERT_TRUE(bsbf.AddBatch(good_.data(), ts_.data(), ts_.size()).ok());
+  SearchResult b = bsbf.Search(nan_query_.data(), 3, TimeWindow::All());
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.completion, Completion::kInvalidArgument);
+
+  GraphBuildParams gp;
+  gp.degree = 4;
+  SfIndex sf(kDim, Metric::kL2, gp);
+  ASSERT_TRUE(sf.AddBatch(good_.data(), ts_.data(), ts_.size()).ok());
+  sf.Build();
+  SearchResult f = sf.Search(inf_query_.data(), TimeWindow::All(), sp, &ctx);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.completion, Completion::kInvalidArgument);
+}
+
+TEST_F(InputValidationFixture, DegenerateQueryParamsGiveEmptyCompleteResult) {
+  MbiParams p;
+  p.leaf_size = 4;
+  MbiIndex index(kDim, Metric::kL2, p);
+  ASSERT_TRUE(index.AddBatch(good_.data(), ts_.data(), ts_.size()).ok());
+  QueryContext ctx;
+
+  // k == 0 asks for nothing — trivially complete, not an error.
+  SearchParams sp;
+  sp.k = 0;
+  SearchResult r = index.Search(good_.data(), TimeWindow::All(), sp, &ctx);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.completion, Completion::kComplete);
+
+  // An inverted window holds no vectors — same contract.
+  sp.k = 3;
+  r = index.Search(good_.data(), TimeWindow{10, 2}, sp, &ctx);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.completion, Completion::kComplete);
+
+  // BSBF honors the same contract for k == 0.
+  BsbfIndex bsbf(kDim, Metric::kL2);
+  ASSERT_TRUE(bsbf.AddBatch(good_.data(), ts_.data(), ts_.size()).ok());
+  SearchResult b = bsbf.Search(good_.data(), 0, TimeWindow::All());
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.completion, Completion::kComplete);
 }
 
 }  // namespace
