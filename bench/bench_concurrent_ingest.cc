@@ -78,7 +78,7 @@ int main() {
                      std::vector<double>* latencies) {
     std::atomic<size_t> total{0};
     std::vector<std::vector<double>> per_thread(num_readers);
-    std::vector<std::thread> threads;
+    std::vector<std::thread> threads;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
     WallTimer wall;
     for (size_t t = 0; t < num_readers; ++t) {
       threads.emplace_back([&, t] {
@@ -121,7 +121,7 @@ int main() {
   std::vector<double> live_lat;
   double live_qps = 0.0;
   double ingest_seconds = 0.0;
-  std::thread measurer([&] { live_qps = measure(&stop, 0, &live_lat); });
+  std::thread measurer([&] { live_qps = measure(&stop, 0, &live_lat); });  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
   {
     WallTimer t;
     for (size_t i = n_preload; i < n_total; ++i) {

@@ -77,7 +77,7 @@ int main() {
   auto measure = [&](bool use_deadline, bool use_admission) {
     PhaseResult result;
     std::vector<PhaseResult> per_thread(num_readers);
-    std::vector<std::thread> threads;
+    std::vector<std::thread> threads;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
     for (size_t t = 0; t < num_readers; ++t) {
       threads.emplace_back([&, t] {
         Rng rng(100 + t);

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Domain-invariant lint for the MBI tree.
+
+Checks repo-specific rules that clang-tidy cannot express:
+
+  naked-thread      std::thread outside src/util/ — production code must go
+                    through util::ThreadPool so shutdown, error capture and
+                    thread-safety annotations stay in one place. Stress
+                    tests that deliberately hammer the single-writer
+                    contract from raw threads carry an allow comment.
+  naked-new         `new` outside src/util/ — ownership must be expressed
+                    with std::make_unique/std::make_shared (or an allowed
+                    intentional leak, e.g. the metrics registry singleton).
+  raw-mutex         std::mutex / lock_guard / unique_lock / scoped_lock /
+                    condition_variable outside src/util/ — use the annotated
+                    mbi::Mutex / MutexLock / CondVar wrappers so Clang's
+                    thread-safety analysis sees every critical section.
+  unchecked-memcpy  memcpy whose length is neither an integer literal nor a
+                    sizeof-expression, outside src/persist/ — framed readers
+                    in persist/ validate lengths against the frame header;
+                    everywhere else a computed length must be visibly
+                    derived from sizeof or explicitly allowed.
+  header-guard      every header must open with #pragma once or an
+                    #ifndef/#define include guard.
+
+Any violation can be waived with an inline comment on the same line or the
+line above:
+
+    // mbi-lint: allow(<rule>) — why this site is fine
+
+Usage:
+    scripts/lint_invariants.py [--compile-commands build/compile_commands.json]
+
+When a compilation database is given, the scanned .cc set is taken from it
+(so generated or excluded TUs are skipped automatically); headers are always
+discovered by walking the tree. Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+UTIL_EXEMPT = ("naked-thread", "naked-new", "raw-mutex")
+
+ALLOW_RE = re.compile(r"//\s*mbi-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(?:_any)?)\b"
+)
+NAKED_THREAD_RE = re.compile(r"std::(?:thread|jthread)\b")
+NAKED_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (ptr) T` placement stays legal
+MEMCPY_RE = re.compile(r"\bmemcpy\s*\(")
+TRUSTED_LEN_RE = re.compile(r"sizeof\b|^\s*\d+\s*$")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_lines: list[str], lineno: int) -> set[str]:
+    """Rules waived for 1-based `lineno` (same line or the line above)."""
+    rules: set[str] = set()
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[ln - 1])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def extract_call_args(code: str, open_paren: int) -> list[str]:
+    """Splits the top-level comma-separated args of the call at `open_paren`."""
+    depth, args, start = 0, [], open_paren + 1
+    for i in range(open_paren, len(code)):
+        c = code[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append(code[start:i])
+                return args
+        elif c == "," and depth == 1:
+            args.append(code[start:i])
+            start = i + 1
+    return args
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[tuple[pathlib.Path, int, str, str]] = []
+
+    def report(self, path: pathlib.Path, lineno: int, rule: str, msg: str,
+               raw_lines: list[str]) -> None:
+        if rule in allowed_rules(raw_lines, lineno):
+            return
+        self.violations.append((path, lineno, rule, msg))
+
+    def lint_file(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(REPO)
+        text = path.read_text(encoding="utf-8")
+        raw_lines = text.splitlines()
+        code = strip_comments_and_strings(text)
+        code_lines = code.splitlines()
+        in_util = rel.parts[:2] == ("src", "util")
+        in_persist = rel.parts[:2] == ("src", "persist")
+
+        if path.suffix == ".h":
+            head = "\n".join(raw_lines[:50])
+            if "#pragma once" not in head and not re.search(
+                    r"#ifndef\s+\w+\s*\n\s*#define\s+\w+", head):
+                self.report(rel, 1, "header-guard",
+                            "header lacks #pragma once or an include guard",
+                            raw_lines)
+
+        for idx, line in enumerate(code_lines, start=1):
+            if not in_util:
+                if NAKED_THREAD_RE.search(line):
+                    self.report(rel, idx, "naked-thread",
+                                "raw std::thread; use util::ThreadPool",
+                                raw_lines)
+                if RAW_MUTEX_RE.search(line):
+                    self.report(rel, idx, "raw-mutex",
+                                "raw std:: synchronization primitive; use the "
+                                "annotated mbi::Mutex/MutexLock/CondVar",
+                                raw_lines)
+                if NAKED_NEW_RE.search(line) and "#include" not in line:
+                    self.report(rel, idx, "naked-new",
+                                "naked new; use std::make_unique/make_shared",
+                                raw_lines)
+
+        if not in_persist:
+            for m in MEMCPY_RE.finditer(code):
+                lineno = code.count("\n", 0, m.start()) + 1
+                args = extract_call_args(code, m.end() - 1)
+                if len(args) != 3:
+                    continue  # not the 3-arg libc memcpy
+                length = args[2].strip()
+                if not TRUSTED_LEN_RE.search(length):
+                    self.report(
+                        rel, lineno, "unchecked-memcpy",
+                        f"memcpy length `{length}` is neither a literal nor "
+                        "sizeof-derived; validate it or move the parse into "
+                        "a persist/ framed reader", raw_lines)
+
+
+def collect_files(compile_commands: pathlib.Path | None) -> list[pathlib.Path]:
+    files: set[pathlib.Path] = set()
+    if compile_commands is not None and compile_commands.exists():
+        for entry in json.loads(compile_commands.read_text()):
+            p = pathlib.Path(entry["file"])
+            if not p.is_absolute():
+                p = pathlib.Path(entry["directory"]) / p
+            p = p.resolve()
+            if p.is_relative_to(REPO) and p.relative_to(REPO).parts[0] in SCAN_DIRS:
+                files.add(p)
+    else:
+        for d in SCAN_DIRS:
+            files.update((REPO / d).rglob("*.cc"))
+    for d in SCAN_DIRS:
+        files.update((REPO / d).rglob("*.h"))
+    return sorted(files)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--compile-commands", type=pathlib.Path, default=None,
+                    help="compile_commands.json to take the .cc file set from")
+    args = ap.parse_args()
+
+    linter = Linter()
+    files = collect_files(args.compile_commands)
+    if not files:
+        print("lint_invariants: no files found", file=sys.stderr)
+        return 2
+    for f in files:
+        linter.lint_file(f)
+
+    for path, lineno, rule, msg in linter.violations:
+        print(f"{path}:{lineno}: [{rule}] {msg}")
+    if linter.violations:
+        print(f"\nlint_invariants: {len(linter.violations)} violation(s) in "
+              f"{len(files)} files. Waive intentional sites with "
+              "`// mbi-lint: allow(<rule>)`.", file=sys.stderr)
+        return 1
+    print(f"lint_invariants: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

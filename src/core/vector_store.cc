@@ -68,6 +68,11 @@ bool IsFiniteVector(const float* v, size_t dim) {
 }
 
 Status VectorStore::Append(const float* vector, Timestamp t) {
+  MutexLock lock(writer_mu_);
+  return AppendLocked(vector, t);
+}
+
+Status VectorStore::AppendLocked(const float* vector, Timestamp t) {
   if (write_size_ > 0 && t < last_timestamp_) {
     return Status::FailedPrecondition(
         "timestamps must be appended in non-decreasing order");
@@ -90,8 +95,9 @@ Status VectorStore::Append(const float* vector, Timestamp t) {
 Status VectorStore::AppendBatch(const float* vectors,
                                 const Timestamp* timestamps, size_t count,
                                 size_t* rows_applied) {
+  MutexLock lock(writer_mu_);
   for (size_t i = 0; i < count; ++i) {
-    Status s = Append(vectors + i * dist_.dim(), timestamps[i]);
+    Status s = AppendLocked(vectors + i * dist_.dim(), timestamps[i]);
     if (!s.ok()) {
       if (rows_applied != nullptr) *rows_applied = i;
       return Status(s.code(), s.message() + " (batch row " +

@@ -13,8 +13,10 @@
 //   for the lifetime of the store. The writer appends into the tail chunk
 //   and then publishes the new size with a release store; readers obtain the
 //   committed size via size() (acquire) and may touch any id below it while
-//   the writer keeps appending. One writer at a time; Append/AppendBatch
-//   must not race with each other.
+//   the writer keeps appending. Append/AppendBatch serialize on an internal
+//   writer mutex, and every writer-side field is MBI_GUARDED_BY it, so the
+//   single-writer half of the contract is enforced at compile time under
+//   Clang -Wthread-safety (and at run time for accidental second writers).
 
 #ifndef MBI_CORE_VECTOR_STORE_H_
 #define MBI_CORE_VECTOR_STORE_H_
@@ -27,7 +29,9 @@
 #include "core/distance.h"
 #include "core/time_window.h"
 #include "core/types.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mbi {
 
@@ -69,7 +73,7 @@ class VectorStore {
   /// Appends one timestamped vector. Fails with FailedPrecondition if `t`
   /// precedes the last appended timestamp and with InvalidArgument if any
   /// component is NaN/Inf. Writer-only.
-  Status Append(const float* vector, Timestamp t);
+  Status Append(const float* vector, Timestamp t) MBI_EXCLUDES(writer_mu_);
 
   /// Appends `count` vectors stored row-major with per-row timestamps.
   /// On an ordering or non-finite-component error the already-valid prefix
@@ -77,7 +81,8 @@ class VectorStore {
   /// rows durably committed, so callers always know exactly how far the
   /// batch got.
   Status AppendBatch(const float* vectors, const Timestamp* timestamps,
-                     size_t count, size_t* rows_applied = nullptr);
+                     size_t count, size_t* rows_applied = nullptr)
+      MBI_EXCLUDES(writer_mu_);
 
   /// Number of committed vectors (acquire load; safe from any thread).
   size_t size() const { return committed_.load(std::memory_order_acquire); }
@@ -154,29 +159,41 @@ class VectorStore {
     Timestamp* timestamps = nullptr;  // chunk_capacity_ entries
   };
 
+  // Append body; the public entry points take writer_mu_ and delegate here.
+  Status AppendLocked(const float* vector, Timestamp t)
+      MBI_REQUIRES(writer_mu_);
+
   // Ensures the chunk holding slot `index` exists, growing the chunk table
   // if needed. Writer-only.
-  void EnsureChunkFor(size_t index);
+  void EnsureChunkFor(size_t index) MBI_REQUIRES(writer_mu_);
 
   DistanceFunction dist_;
   size_t chunk_capacity_;  // power of two
   size_t chunk_shift_;
   size_t chunk_mask_;
 
+  // Serializes appends and guards all writer-side bookkeeping below.
+  Mutex writer_mu_;
+
   // Chunk pointer table. The active table is published through table_;
   // superseded tables are retired (kept alive) because a reader may still
   // hold them — every chunk pointer they contain stays valid.
   std::atomic<Chunk*> table_{nullptr};
-  size_t table_capacity_ = 0;
-  std::vector<std::unique_ptr<Chunk[]>> tables_;  // [0..n-2] retired, back() active
+  size_t table_capacity_ MBI_GUARDED_BY(writer_mu_) = 0;
+  std::vector<std::unique_ptr<Chunk[]>> tables_
+      MBI_GUARDED_BY(writer_mu_);  // [0..n-2] retired, back() active
 
   // Chunk ownership (writer-only bookkeeping).
-  std::vector<std::unique_ptr<float[]>> data_chunks_;
-  std::vector<std::unique_ptr<Timestamp[]>> ts_chunks_;
+  std::vector<std::unique_ptr<float[]>> data_chunks_
+      MBI_GUARDED_BY(writer_mu_);
+  std::vector<std::unique_ptr<Timestamp[]>> ts_chunks_
+      MBI_GUARDED_BY(writer_mu_);
 
-  // Writer-side append cursor and the reader-visible committed size.
-  size_t write_size_ = 0;
-  Timestamp last_timestamp_ = 0;
+  // Writer-side append cursor and the reader-visible committed size
+  // (release-published by the writer, acquire-loaded by readers — the one
+  // field both sides touch, via std::atomic rather than the mutex).
+  size_t write_size_ MBI_GUARDED_BY(writer_mu_) = 0;
+  Timestamp last_timestamp_ MBI_GUARDED_BY(writer_mu_) = 0;
   std::atomic<size_t> committed_{0};
 };
 

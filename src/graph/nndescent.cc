@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "graph/exact_builder.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -113,7 +113,7 @@ KnnGraph BuildNnDescentGraph(const VectorSlice& rows, size_t n,
 
   std::vector<NeighborPool> pools(n);
   for (auto& p : pools) p.Init(degree);
-  std::vector<std::mutex> locks(pool != nullptr ? n : 0);
+  std::vector<Mutex> locks(pool != nullptr ? n : 0);
 
   // --- Random initialization: `degree` distinct random neighbors per node.
   {
@@ -200,7 +200,7 @@ KnnGraph BuildNnDescentGraph(const VectorSlice& rows, size_t n,
       auto try_update = [&](NodeId a, NodeId b, float d) {
         bool changed;
         if (pool != nullptr) {
-          std::lock_guard<std::mutex> g(locks[a]);
+          MutexLock g(locks[a]);
           changed = pools[a].Insert(d, b);
         } else {
           changed = pools[a].Insert(d, b);

@@ -145,6 +145,11 @@ MbiIndex::~MbiIndex() {
 }
 
 Status MbiIndex::Add(const float* vector, Timestamp t) {
+  MutexLock lock(writer_mu_);
+  return AddLocked(vector, t);
+}
+
+Status MbiIndex::AddLocked(const float* vector, Timestamp t) {
   MBI_RETURN_IF_ERROR(store_.Append(vector, t));
   const BuildMetrics& metrics = BuildMetrics::Get();
   metrics.vectors_added->Increment();
@@ -184,9 +189,10 @@ Status MbiIndex::Add(const float* vector, Timestamp t) {
 Status MbiIndex::AddBatch(const float* vectors, const Timestamp* timestamps,
                           size_t count, bool defer_builds,
                           size_t* rows_applied) {
+  MutexLock lock(writer_mu_);
   if (!defer_builds) {
     for (size_t i = 0; i < count; ++i) {
-      Status s = Add(vectors + i * store_.dim(), timestamps[i]);
+      Status s = AddLocked(vectors + i * store_.dim(), timestamps[i]);
       if (!s.ok()) {
         if (rows_applied != nullptr) *rows_applied = i;
         return Status(s.code(), s.message() + " (batch row " +
@@ -210,6 +216,7 @@ Status MbiIndex::AddBatch(const float* vectors, const Timestamp* timestamps,
 }
 
 void MbiIndex::FinishPendingBuilds() {
+  MutexLock lock(writer_mu_);
   if (pending_build_.empty()) return;
   std::vector<TreeNode> nodes(pending_build_.begin(), pending_build_.end());
   pending_build_.clear();
@@ -239,13 +246,19 @@ void MbiIndex::BuildNodes(const std::vector<TreeNode>& nodes) {
 
   const size_t first = blocks_.size();
   blocks_.resize(first + nodes.size());
-  auto build_one = [&](size_t i) {
+  // Disjoint-slot handoff: the writer sizes blocks_ up front (under
+  // writer_mu_, which stays held across the whole build), then hands each
+  // worker a distinct pre-existing slot through this raw pointer. Workers
+  // never touch the vector object itself, so the accesses are race-free even
+  // though the analysis cannot attribute them to writer_mu_.
+  std::shared_ptr<const BlockKnnIndex>* const slots = &blocks_[first];
+  auto build_one = [&, slots](size_t i) {
     const IdRange range = s.NodeRange(nodes[i]);
     WallTimer block_timer;
     // Note: per-block NNDescent runs serially here; parallelism comes from
     // building the independent blocks of the cascade concurrently, exactly
     // as described in the paper's "Parallelization of MBI".
-    blocks_[first + i] =
+    slots[i] =
         BuildBlockIndex(params_.block_kind, store_, range, params_.build,
                         /*pool=*/nullptr);
     metrics.block_seconds->Observe(block_timer.ElapsedSeconds());
@@ -297,7 +310,7 @@ void MbiIndex::PublishSnapshot() {
   snap->blocks = blocks_;
   {
     std::shared_ptr<const MbiSnapshot> published = std::move(snap);
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    MutexLock lock(snapshot_mu_);
     snapshot_.swap(published);
     // `published` (the retired snapshot) is released outside the lock.
   }
@@ -311,13 +324,22 @@ void MbiIndex::PublishSnapshot() {
   gauge_vectors_ = nv;
 }
 
+void MbiIndex::InstallBlocks(
+    std::vector<std::shared_ptr<const BlockKnnIndex>> blocks,
+    bool build_pending) {
+  MutexLock lock(writer_mu_);
+  blocks_ = std::move(blocks);
+  if (build_pending) BuildPendingBlocks();
+  PublishSnapshot();
+}
+
 ReadView MbiIndex::AcquireReadView() const {
   ReadView view;
   // Order matters: snapshot first, then committed size. The writer commits
   // vectors *before* publishing blocks that cover them, so loading in the
   // reverse order here guarantees num_vectors >= snapshot->covered_end.
   {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    MutexLock lock(snapshot_mu_);
     view.snapshot = snapshot_;
   }
   view.num_vectors = store_.size();

@@ -13,7 +13,6 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,8 +24,10 @@
 #include "index/block_index.h"
 #include "mbi/block_tree.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mbi {
 
@@ -144,8 +145,11 @@ struct ReadView {
 /// number of reader threads call the const query methods (Search,
 /// SelectSearchBlocks, Explain, GetStats, ...). Readers never block the
 /// writer and vice versa; each query pins a ReadView and sees the committed
-/// prefix it describes. Multiple concurrent writers still require external
-/// synchronization, as do Save/Load concurrent with writes.
+/// prefix it describes. The writer side serializes on an internal mutex and
+/// every writer-side field is MBI_GUARDED_BY it, so the contract is checked
+/// at compile time under Clang -Wthread-safety. Save/Checkpoint work off a
+/// pinned ReadView and are safe during live ingest; Load/Recover construct a
+/// fresh index and need no synchronization.
 class MbiIndex {
  public:
   /// Creates an empty index for `dim`-dimensional vectors under `metric`.
@@ -159,7 +163,7 @@ class MbiIndex {
   /// Inserts one timestamped vector (Algorithm 3). Timestamps must be
   /// non-decreasing. When the insert completes a leaf, the merge cascade
   /// builds every finished block before returning.
-  Status Add(const float* vector, Timestamp t);
+  Status Add(const float* vector, Timestamp t) MBI_EXCLUDES(writer_mu_);
 
   /// Bulk-loads `count` vectors. With `defer_builds`, block construction is
   /// postponed until the end and all pending blocks are built concurrently
@@ -169,14 +173,17 @@ class MbiIndex {
   /// applied whether the batch succeeds or fails.
   Status AddBatch(const float* vectors, const Timestamp* timestamps,
                   size_t count, bool defer_builds = false,
-                  size_t* rows_applied = nullptr);
+                  size_t* rows_applied = nullptr) MBI_EXCLUDES(writer_mu_);
 
   /// Drains every deferred block build (see MbiParams::max_blocks_per_add).
   /// No-op when nothing is pending. Writer-only, like Add.
-  void FinishPendingBuilds();
+  void FinishPendingBuilds() MBI_EXCLUDES(writer_mu_);
 
   /// Deferred block builds currently queued (writer-side bookkeeping).
-  size_t pending_builds() const { return pending_build_.size(); }
+  size_t pending_builds() const MBI_EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    return pending_build_.size();
+  }
 
   /// Answers a TkNN query (Algorithm 4): top-k vectors nearest to `query`
   /// with timestamp in `window`. `search` carries k, M_C and epsilon, and
@@ -270,10 +277,18 @@ class MbiIndex {
   size_t size() const { return store_.size(); }
 
   /// Number of materialized full blocks.
-  size_t num_blocks() const { return blocks_.size(); }
+  size_t num_blocks() const MBI_EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    return blocks_.size();
+  }
 
-  /// The i-th block in creation (postorder) order.
-  const BlockKnnIndex& block(size_t i) const { return *blocks_[i]; }
+  /// The i-th block in creation (postorder) order. Blocks are individually
+  /// immutable once built, so the reference stays valid after the internal
+  /// lock is dropped.
+  const BlockKnnIndex& block(size_t i) const MBI_EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    return *blocks_[i];
+  }
 
   MbiStats GetStats() const;
 
@@ -316,15 +331,25 @@ class MbiIndex {
  private:
   friend class MbiIo;  // serialization helper
 
+  // Add body; the public entry point takes writer_mu_ and delegates here.
+  Status AddLocked(const float* vector, Timestamp t) MBI_REQUIRES(writer_mu_);
+
   // Builds every materialized block whose creation index >= blocks_.size().
-  void BuildPendingBlocks();
+  void BuildPendingBlocks() MBI_REQUIRES(writer_mu_);
 
   // Builds the given nodes (creation order) and appends them to blocks_.
-  void BuildNodes(const std::vector<TreeNode>& nodes);
+  void BuildNodes(const std::vector<TreeNode>& nodes)
+      MBI_REQUIRES(writer_mu_);
 
   // Swaps in a fresh MbiSnapshot reflecting blocks_ (writer side), and
   // refreshes the process-wide index gauges.
-  void PublishSnapshot();
+  void PublishSnapshot() MBI_REQUIRES(writer_mu_);
+
+  // Installs the block list read by MbiIo (Load/Recover) and publishes the
+  // first snapshot; with `build_pending` the blocks the saved snapshot had
+  // not yet covered are rebuilt deterministically.
+  void InstallBlocks(std::vector<std::shared_ptr<const BlockKnnIndex>> blocks,
+                     bool build_pending) MBI_EXCLUDES(writer_mu_);
 
   // Algorithm 4 selection against an explicit (covered_end, num_vectors)
   // view: tree selection over the covered prefix plus the committed tail
@@ -336,14 +361,21 @@ class MbiIndex {
   MbiParams params_;
   VectorStore store_;
 
+  // Serializes the writer side (Add/AddBatch/FinishPendingBuilds and the
+  // MbiIo install path). Mutable so const accessors of writer-side
+  // bookkeeping (num_blocks, pending_builds) can take it too.
+  mutable Mutex writer_mu_;
+
   // Writer's working copy, in creation order. Blocks are append-only and
   // individually immutable once built; snapshots share ownership of them.
-  std::vector<std::shared_ptr<const BlockKnnIndex>> blocks_;
+  std::vector<std::shared_ptr<const BlockKnnIndex>> blocks_
+      MBI_GUARDED_BY(writer_mu_);
 
   // Builds deferred by the per-Add cap, in creation order (writer-only).
-  std::deque<TreeNode> pending_build_;
+  std::deque<TreeNode> pending_build_ MBI_GUARDED_BY(writer_mu_);
 
-  // Admission-control accounting (SearchAdmitted).
+  // Admission-control accounting (SearchAdmitted): lock-free atomics —
+  // queries must never contend on a mutex just to be counted.
   mutable std::atomic<size_t> inflight_{0};
   mutable std::atomic<size_t> inflight_high_water_{0};
 
@@ -352,8 +384,8 @@ class MbiIndex {
   // load() with a relaxed RMW, which leaves no formal happens-before edge to
   // the writer's pointer swap (TSan reports the race). The critical section
   // here is a single shared_ptr copy/swap, so contention is negligible.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const MbiSnapshot> snapshot_;
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const MbiSnapshot> snapshot_ MBI_GUARDED_BY(snapshot_mu_);
 
   std::unique_ptr<ThreadPool> pool_;                    // null when serial
   std::atomic<double> build_seconds_{0.0};  // atomic: GetStats may race Add
@@ -361,8 +393,8 @@ class MbiIndex {
   // Last values this instance contributed to the process-wide
   // mbi_index_vectors / mbi_index_blocks gauges (delta-aggregated so
   // coexisting MbiIndex instances don't clobber each other).
-  double gauge_vectors_ = 0.0;
-  double gauge_blocks_ = 0.0;
+  double gauge_vectors_ MBI_GUARDED_BY(writer_mu_) = 0.0;
+  double gauge_blocks_ MBI_GUARDED_BY(writer_mu_) = 0.0;
 };
 
 }  // namespace mbi

@@ -494,15 +494,15 @@ Result<std::unique_ptr<MbiIndex>> MbiIo::LoadV2(BinaryReader* r,
     return Status::DataLoss("corrupt MBI index: bad covered bound in " +
                             path);
   }
+  std::vector<std::shared_ptr<const BlockKnnIndex>> blocks;
   MBI_RETURN_IF_ERROR(
-      ReadBlockList(r, covered_end, h.params.leaf_size, &index->blocks_));
+      ReadBlockList(r, covered_end, h.params.leaf_size, &blocks));
   MBI_RETURN_IF_ERROR(end_section(2));
 
   // The close status must be checked before publishing: a deferred read
   // error means the bytes parsed above cannot be trusted.
   MBI_RETURN_IF_ERROR(r->Close());
-  index->BuildPendingBlocks();
-  index->PublishSnapshot();
+  index->InstallBlocks(std::move(blocks), /*build_pending=*/true);
   return Result<std::unique_ptr<MbiIndex>>(std::move(index));
 }
 
@@ -520,13 +520,14 @@ Result<std::unique_ptr<MbiIndex>> MbiIo::LoadV1(BinaryReader* r,
   // v1 always wrote every full block of the store it saved.
   const int64_t covered_end =
       (static_cast<int64_t>(n) / h.params.leaf_size) * h.params.leaf_size;
+  std::vector<std::shared_ptr<const BlockKnnIndex>> blocks;
   MBI_RETURN_IF_ERROR(
-      ReadBlockList(r, covered_end, h.params.leaf_size, &index->blocks_));
+      ReadBlockList(r, covered_end, h.params.leaf_size, &blocks));
   if (r->Remaining() != 0) {
     return Status::IoError("corrupt MBI index: trailing bytes in " + path);
   }
   MBI_RETURN_IF_ERROR(r->Close());
-  index->PublishSnapshot();
+  index->InstallBlocks(std::move(blocks), /*build_pending=*/false);
   return Result<std::unique_ptr<MbiIndex>>(std::move(index));
 }
 
@@ -733,7 +734,8 @@ Result<std::unique_ptr<MbiIndex>> MbiIo::Recover(const std::string& dir,
   // Block index segments, validated against the tree arithmetic.
   const BlockTreeShape shape(manifest.covered_end, L);
   const std::vector<TreeNode> nodes = shape.AllFullNodes();
-  index->blocks_.reserve(nodes.size());
+  std::vector<std::shared_ptr<const BlockKnnIndex>> blocks;
+  blocks.reserve(nodes.size());
   for (size_t j = 0; j < nodes.size(); ++j) {
     MBI_RETURN_IF_ERROR(persist::ReadFramedFile(
         fs, BlkSegPath(dir, j), kBlkSegMagic,
@@ -748,11 +750,11 @@ Result<std::unique_ptr<MbiIndex>> MbiIo::Recover(const std::string& dir,
             return Status::DataLoss("corrupt checkpoint: block covers "
                                     "wrong range");
           }
-          index->blocks_.push_back(std::move(block));
+          blocks.push_back(std::move(block));
           return Status::Ok();
         }));
   }
-  index->PublishSnapshot();
+  index->InstallBlocks(std::move(blocks), /*build_pending=*/false);
 
   // Tail log: replay the valid clean prefix through the normal insert path,
   // re-running the merge cascades. Seeded builds make the rebuilt blocks

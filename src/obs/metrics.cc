@@ -96,7 +96,7 @@ std::vector<double> Histogram::LinearBounds(double start, double step,
 
 Counter* MetricRegistry::GetCounter(const std::string& name,
                                     const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Slot slot;
@@ -111,7 +111,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricRegistry::GetGauge(const std::string& name,
                                 const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Slot slot;
@@ -127,7 +127,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name,
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         std::vector<double> bounds,
                                         const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Slot slot;
@@ -141,7 +141,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, slot] : metrics_) {
     switch (slot.kind) {
       case Kind::kCounter: slot.counter->Reset(); break;
@@ -152,12 +152,14 @@ void MetricRegistry::ResetAll() {
 }
 
 MetricRegistry& MetricRegistry::Default() {
-  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  // Intentionally leaked: metrics outlive every static destructor.
+  // mbi-lint: allow(naked-new)
+  static MetricRegistry* registry = new MetricRegistry();
   return *registry;
 }
 
 std::vector<MetricRegistry::Entry> MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Entry> out;
   out.reserve(metrics_.size());
   for (const auto& [name, slot] : metrics_) {

@@ -26,9 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mbi::obs {
 
@@ -147,8 +149,12 @@ class MetricRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Slot> metrics_;  // ordered => stable exposition
+  // Guards the name -> slot map only; the metric objects themselves are
+  // lock-free atomics, reached through stable pointers handed out under the
+  // lock once at registration.
+  mutable Mutex mu_;
+  std::map<std::string, Slot> metrics_
+      MBI_GUARDED_BY(mu_);  // ordered => stable exposition
 };
 
 }  // namespace mbi::obs

@@ -7,13 +7,23 @@ namespace mbi::obs {
 
 namespace {
 
+// Built with += rather than operator+ chains: GCC 12's -Wrestrict misfires
+// on `const char* + std::string&&` concatenation (GCC bug 105651).
 std::string NodeName(const TreeNode& node) {
-  return "h" + std::to_string(node.height) + "/p" + std::to_string(node.pos);
+  std::string out = "h";
+  out += std::to_string(node.height);
+  out += "/p";
+  out += std::to_string(node.pos);
+  return out;
 }
 
 std::string RangeName(const IdRange& range) {
-  return "[" + std::to_string(range.begin) + ", " + std::to_string(range.end) +
-         ")";
+  std::string out = "[";
+  out += std::to_string(range.begin);
+  out += ", ";
+  out += std::to_string(range.end);
+  out += ")";
+  return out;
 }
 
 void AppendNodeJson(JsonWriter* w, const TreeNode& node) {

@@ -1,5 +1,7 @@
 #include "persist/fault_injection.h"
 
+#include "util/mutex.h"
+
 namespace mbi::persist {
 
 namespace {
@@ -12,14 +14,15 @@ Status Injected(const char* what) {
 
 /// Wraps one writable file; all fault state lives in the owning file system
 /// so the byte counter spans every file of a checkpoint. `base_` is null for
-/// files "created" after a simulated crash (pure sinks).
+/// files "created" after a simulated crash (pure sinks). Every method locks
+/// the owning file system's mutex before touching the shared fault state.
 class FaultInjectingWritableFile final : public WritableFile {
  public:
   FaultInjectingWritableFile(FaultInjectingFileSystem* fs,
                              std::unique_ptr<WritableFile> base)
       : fs_(fs), base_(std::move(base)) {}
 
-  ~FaultInjectingWritableFile() override { (void)Close(); }
+  ~FaultInjectingWritableFile() override { MBI_IGNORE_STATUS(Close()); }
 
   Status Append(const void* data, size_t size) override {
     return Write(data, size, /*offset=*/nullptr);
@@ -30,8 +33,9 @@ class FaultInjectingWritableFile final : public WritableFile {
   }
 
   Status Flush() override {
+    MutexLock lock(fs_->mu_);
     if (fs_->crashed_) {
-      if (base_ != nullptr) (void)base_->Flush();
+      if (base_ != nullptr) MBI_IGNORE_STATUS(base_->Flush());
       return Status::Ok();
     }
     if (fs_->plan_.fail_flush) {
@@ -42,8 +46,9 @@ class FaultInjectingWritableFile final : public WritableFile {
   }
 
   Status Sync() override {
+    MutexLock lock(fs_->mu_);
     if (fs_->crashed_) {
-      if (base_ != nullptr) (void)base_->Flush();
+      if (base_ != nullptr) MBI_IGNORE_STATUS(base_->Flush());
       return Status::Ok();
     }
     if (fs_->plan_.fail_sync) {
@@ -56,22 +61,25 @@ class FaultInjectingWritableFile final : public WritableFile {
   Status Close() override {
     if (base_ == nullptr) return Status::Ok();
     std::unique_ptr<WritableFile> base = std::move(base_);
+    MutexLock lock(fs_->mu_);
     if (fs_->crashed_) {
       // Closing the real file materializes the pre-crash bytes that stdio
       // still buffers; nothing written after the crash ever reached it.
-      (void)base->Close();
+      MBI_IGNORE_STATUS(base->Close());
       return Status::Ok();
     }
     if (fs_->plan_.fail_close) {
       fs_->plan_.fail_close = false;
-      (void)base->Close();
+      MBI_IGNORE_STATUS(base->Close());
       return Injected("close failure");
     }
     return base->Close();
   }
 
  private:
-  Status Write(const void* data, size_t size, const uint64_t* offset) {
+  Status Write(const void* data, size_t size, const uint64_t* offset)
+      MBI_EXCLUDES(fs_->mu_) {
+    MutexLock lock(fs_->mu_);
     if (fs_->crashed_ || base_ == nullptr) return Status::Ok();
     FaultPlan& plan = fs_->plan_;
     uint64_t& counter = fs_->bytes_written_;
@@ -128,6 +136,7 @@ class FaultInjectingReadableFile final : public ReadableFile {
 
   Status Close() override {
     const Status base = base_->Close();
+    MutexLock lock(fs_->mu_);
     if (fs_->plan_.fail_read_close) {
       fs_->plan_.fail_read_close = false;
       return Injected("read-side close failure");
@@ -141,6 +150,7 @@ class FaultInjectingReadableFile final : public ReadableFile {
 };
 
 void FaultInjectingFileSystem::SetPlan(const FaultPlan& plan) {
+  MutexLock lock(mu_);
   plan_ = plan;
   bytes_written_ = 0;
   crashed_ = false;
@@ -149,28 +159,32 @@ void FaultInjectingFileSystem::SetPlan(const FaultPlan& plan) {
 
 Result<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::NewWritableFile(
     const std::string& path) {
+  MutexLock lock(mu_);
   files_created_.push_back(path);
   if (crashed_) {
     return std::unique_ptr<WritableFile>(
-        new FaultInjectingWritableFile(this, nullptr));
+        std::make_unique<FaultInjectingWritableFile>(this, nullptr));
   }
   auto base = base_->NewWritableFile(path);
   MBI_RETURN_IF_ERROR(base.status());
   return std::unique_ptr<WritableFile>(
-      new FaultInjectingWritableFile(this, std::move(base).value()));
+      std::make_unique<FaultInjectingWritableFile>(this,
+                                                   std::move(base).value()));
 }
 
 Result<std::unique_ptr<WritableFile>>
 FaultInjectingFileSystem::NewAppendableFile(const std::string& path) {
+  MutexLock lock(mu_);
   files_created_.push_back(path);
   if (crashed_) {
     return std::unique_ptr<WritableFile>(
-        new FaultInjectingWritableFile(this, nullptr));
+        std::make_unique<FaultInjectingWritableFile>(this, nullptr));
   }
   auto base = base_->NewAppendableFile(path);
   MBI_RETURN_IF_ERROR(base.status());
   return std::unique_ptr<WritableFile>(
-      new FaultInjectingWritableFile(this, std::move(base).value()));
+      std::make_unique<FaultInjectingWritableFile>(this,
+                                                   std::move(base).value()));
 }
 
 Result<std::unique_ptr<ReadableFile>> FaultInjectingFileSystem::NewReadableFile(
@@ -178,11 +192,13 @@ Result<std::unique_ptr<ReadableFile>> FaultInjectingFileSystem::NewReadableFile(
   auto base = base_->NewReadableFile(path);
   MBI_RETURN_IF_ERROR(base.status());
   return std::unique_ptr<ReadableFile>(
-      new FaultInjectingReadableFile(this, std::move(base).value()));
+      std::make_unique<FaultInjectingReadableFile>(this,
+                                                   std::move(base).value()));
 }
 
 Status FaultInjectingFileSystem::RenameFile(const std::string& from,
                                             const std::string& to) {
+  MutexLock lock(mu_);
   if (crashed_) return Status::Ok();
   if (plan_.fail_rename) {
     plan_.fail_rename = false;
@@ -192,6 +208,7 @@ Status FaultInjectingFileSystem::RenameFile(const std::string& from,
 }
 
 Status FaultInjectingFileSystem::DeleteFile(const std::string& path) {
+  MutexLock lock(mu_);
   if (crashed_) return Status::Ok();
   return base_->DeleteFile(path);
 }
@@ -207,16 +224,19 @@ Result<uint64_t> FaultInjectingFileSystem::GetFileSize(
 
 Status FaultInjectingFileSystem::TruncateFile(const std::string& path,
                                               uint64_t size) {
+  MutexLock lock(mu_);
   if (crashed_) return Status::Ok();
   return base_->TruncateFile(path, size);
 }
 
 Status FaultInjectingFileSystem::CreateDir(const std::string& path) {
+  MutexLock lock(mu_);
   if (crashed_) return Status::Ok();
   return base_->CreateDir(path);
 }
 
 Status FaultInjectingFileSystem::SyncDir(const std::string& path) {
+  MutexLock lock(mu_);
   if (crashed_) return Status::Ok();
   return base_->SyncDir(path);
 }

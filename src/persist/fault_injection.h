@@ -20,7 +20,10 @@
 // counter is global across every file opened through the wrapper, so a
 // single trigger sweep covers a whole multi-file checkpoint.
 //
-// Single-threaded by design (tests drive one Save/Checkpoint at a time).
+// All fault state (plan, byte counter, crashed flag, created-files log) is
+// guarded by one mutex shared with the wrapped file objects, so the wrapper
+// is safe to drive from concurrent writers too (e.g. a checkpoint racing an
+// ingest thread in a fault-injection stress test).
 
 #ifndef MBI_PERSIST_FAULT_INJECTION_H_
 #define MBI_PERSIST_FAULT_INJECTION_H_
@@ -31,6 +34,8 @@
 #include <vector>
 
 #include "persist/file.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mbi::persist {
 
@@ -57,17 +62,25 @@ class FaultInjectingFileSystem final : public FileSystem {
 
   /// Installs a fresh plan and resets the byte counter, the crashed flag
   /// and the created-files log.
-  void SetPlan(const FaultPlan& plan);
+  void SetPlan(const FaultPlan& plan) MBI_EXCLUDES(mu_);
 
   /// Bytes actually persisted through Append/WriteAt so far.
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_written() const MBI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return bytes_written_;
+  }
 
   /// True once a kCrash fault has fired.
-  bool crashed() const { return crashed_; }
+  bool crashed() const MBI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return crashed_;
+  }
 
   /// Paths passed to NewWritableFile/NewAppendableFile since SetPlan, in
   /// order (including post-crash opens, which touch nothing on disk).
-  const std::vector<std::string>& files_created() const {
+  /// Returned by value: the log may grow concurrently.
+  std::vector<std::string> files_created() const MBI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return files_created_;
   }
 
@@ -90,10 +103,14 @@ class FaultInjectingFileSystem final : public FileSystem {
   friend class FaultInjectingReadableFile;
 
   FileSystem* base_;
-  FaultPlan plan_;
-  uint64_t bytes_written_ = 0;
-  bool crashed_ = false;
-  std::vector<std::string> files_created_;
+
+  // One lock for all fault state; the wrapped file objects lock it too via
+  // their fs_ back-pointer, so a multi-file sweep stays coherent.
+  mutable Mutex mu_;
+  FaultPlan plan_ MBI_GUARDED_BY(mu_);
+  uint64_t bytes_written_ MBI_GUARDED_BY(mu_) = 0;
+  bool crashed_ MBI_GUARDED_BY(mu_) = false;
+  std::vector<std::string> files_created_ MBI_GUARDED_BY(mu_);
 };
 
 }  // namespace mbi::persist

@@ -128,7 +128,7 @@ class PosixFileSystem final : public FileSystem {
     FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) return Errno("cannot open for writing", path);
     return std::unique_ptr<WritableFile>(
-        new PosixWritableFile(f, path, /*appendable=*/false));
+        std::make_unique<PosixWritableFile>(f, path, /*appendable=*/false));
   }
 
   Result<std::unique_ptr<WritableFile>> NewAppendableFile(
@@ -136,7 +136,7 @@ class PosixFileSystem final : public FileSystem {
     FILE* f = std::fopen(path.c_str(), "ab");
     if (f == nullptr) return Errno("cannot open for appending", path);
     return std::unique_ptr<WritableFile>(
-        new PosixWritableFile(f, path, /*appendable=*/true));
+        std::make_unique<PosixWritableFile>(f, path, /*appendable=*/true));
   }
 
   Result<std::unique_ptr<ReadableFile>> NewReadableFile(
@@ -148,8 +148,8 @@ class PosixFileSystem final : public FileSystem {
       std::fclose(f);
       return Errno("cannot stat", path);
     }
-    return std::unique_ptr<ReadableFile>(
-        new PosixReadableFile(f, path, static_cast<uint64_t>(st.st_size)));
+    return std::unique_ptr<ReadableFile>(std::make_unique<PosixReadableFile>(
+        f, path, static_cast<uint64_t>(st.st_size)));
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {

@@ -48,7 +48,12 @@ inline const char* StatusCodeName(StatusCode code) {
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy when OK
 /// (no message allocation).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how I/O errors become data
+/// loss, so every call site must either handle it, propagate it
+/// (MBI_RETURN_IF_ERROR), check it (MBI_CHECK_OK), or state the intent to
+/// drop it explicitly (MBI_IGNORE_STATUS).
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -103,9 +108,10 @@ class Status {
 /// Result<T>: either a value or an error Status (never both).
 ///
 /// Use `result.ok()` before `result.value()`. Accessing the value of an
-/// errored result aborts with a diagnostic.
+/// errored result aborts with a diagnostic. [[nodiscard]] for the same
+/// reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from values and from error statuses keeps call
   // sites terse (`return Status::IoError(...)` / `return my_value`).
@@ -150,11 +156,26 @@ class Result {
   std::variant<T, Status> data_;
 };
 
-/// Propagates a non-OK status to the caller.
-#define MBI_RETURN_IF_ERROR(expr)                  \
-  do {                                             \
-    ::mbi::Status _mbi_status = (expr);            \
-    if (!_mbi_status.ok()) return _mbi_status;     \
+#define MBI_STATUS_CONCAT_INNER_(a, b) a##b
+#define MBI_STATUS_CONCAT_(a, b) MBI_STATUS_CONCAT_INNER_(a, b)
+
+/// Propagates a non-OK status to the caller. The local is line-unique so
+/// nested expansions (a lambda containing MBI_RETURN_IF_ERROR passed as an
+/// argument to an outer one) survive -Wshadow.
+#define MBI_RETURN_IF_ERROR(expr)                                      \
+  do {                                                                 \
+    ::mbi::Status MBI_STATUS_CONCAT_(_mbi_status_, __LINE__) = (expr); \
+    if (!MBI_STATUS_CONCAT_(_mbi_status_, __LINE__).ok())              \
+      return MBI_STATUS_CONCAT_(_mbi_status_, __LINE__);               \
+  } while (0)
+
+/// Explicitly discards a Status/Result. Status is [[nodiscard]], so the rare
+/// call site that legitimately cannot act on a failure (e.g. best-effort
+/// cleanup in a destructor, closing a file whose write already failed) must
+/// say so visibly instead of silently dropping the error.
+#define MBI_IGNORE_STATUS(expr) \
+  do {                          \
+    (void)(expr);               \
   } while (0)
 
 }  // namespace mbi

@@ -17,30 +17,30 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_ != nullptr) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(err);
+  std::exception_ptr err;
+  {
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) all_done_.Wait(mu_);
+    err = std::exchange(first_error_, nullptr);
   }
+  if (err != nullptr) std::rethrow_exception(err);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -60,9 +60,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mu_);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -76,15 +75,15 @@ void ThreadPool::WorkerLoop() {
     struct InFlightGuard {
       ThreadPool* pool;
       ~InFlightGuard() {
-        std::unique_lock<std::mutex> lock(pool->mu_);
+        MutexLock lock(pool->mu_);
         --pool->in_flight_;
-        if (pool->in_flight_ == 0) pool->all_done_.notify_all();
+        if (pool->in_flight_ == 0) pool->all_done_.NotifyAll();
       }
     } guard{this};
     try {
       task();
     } catch (...) {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (first_error_ == nullptr) first_error_ = std::current_exception();
     }
   }

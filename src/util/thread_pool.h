@@ -4,14 +4,15 @@
 #ifndef MBI_UTIL_THREAD_POOL_H_
 #define MBI_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
+#include <thread>  // mbi-lint: allow(raw-thread) — the pool owns its workers
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mbi {
 
@@ -33,16 +34,17 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) MBI_EXCLUDES(mu_);
 
   /// Blocks until all previously submitted tasks have completed. If any
   /// task threw, the first captured exception is rethrown here (later ones
   /// are dropped); the pool stays usable afterwards.
-  void Wait();
+  void Wait() MBI_EXCLUDES(mu_);
 
   /// Runs fn(i) for each i in [0, n), distributed over the workers, and
   /// blocks until done. Work is split into contiguous chunks.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      MBI_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -50,16 +52,17 @@ class ThreadPool {
   static size_t DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MBI_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::exception_ptr first_error_;  // first task exception since last Wait
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ MBI_GUARDED_BY(mu_);
+  size_t in_flight_ MBI_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ MBI_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_
+      MBI_GUARDED_BY(mu_);  // first task exception since last Wait
 };
 
 }  // namespace mbi

@@ -126,8 +126,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, BlockIndexTest,
                          ::testing::Values(BlockIndexKind::kGraph,
                                            BlockIndexKind::kFlat,
                                            BlockIndexKind::kHnsw),
-                         [](const auto& info) {
-                           return BlockIndexKindName(info.param);
+                         [](const auto& param_info) {
+                           return BlockIndexKindName(param_info.param);
                          });
 
 TEST(FlatBlockIndexTest, IsExactWithinSlice) {

@@ -65,7 +65,7 @@ TEST_F(ConcurrencyFixture, ParallelReadersMatchSerialResults) {
 
   // 4 threads, each re-running a disjoint slice with the same seeds.
   std::atomic<int> mismatches{0};
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
       for (size_t qi = t; qi < 32; qi += 4) {
@@ -85,7 +85,7 @@ TEST_F(ConcurrencyFixture, HammeringManyWindowsConcurrently) {
   sp.k = 5;
   sp.max_candidates = 48;
   std::atomic<size_t> total_results{0};
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&, t] {
       QueryContext ctx(t * 7 + 1);
@@ -147,7 +147,7 @@ TEST_F(ConcurrencyFixture, WriterInterleavedWithReaders) {
   std::atomic<int> violations{0};
   std::vector<std::vector<Sample>> samples(kReaders);
 
-  std::vector<std::thread> readers;
+  std::vector<std::thread> readers;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
   for (int t = 0; t < kReaders; ++t) {
     readers.emplace_back([&, t] {
       Rng rng(9000 + t);
@@ -221,7 +221,7 @@ TEST_F(ConcurrencyFixture, SfConcurrentReaders) {
   sp.k = 5;
   sp.max_candidates = 48;
   std::atomic<int> violations{0};
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
       QueryContext ctx(t);

@@ -63,7 +63,7 @@ TEST_F(OverloadFixture, AdmissionLimitIsNeverExceeded) {
   const TimeWindow w{data_.timestamps[0], data_.timestamps[kN - 1]};
 
   std::atomic<size_t> ok{0}, shed{0}, other{0};
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&, t] {
       QueryContext ctx(t + 1);
@@ -193,7 +193,7 @@ TEST_F(OverloadFixture, WriterMakesProgressUnderQueryLoad) {
 
   std::atomic<bool> stop{false};
   std::atomic<size_t> answered{0}, shed{0};
-  std::vector<std::thread> readers;
+  std::vector<std::thread> readers;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&, t] {
       QueryContext ctx(t + 99);
@@ -240,7 +240,7 @@ TEST_F(OverloadFixture, ConcurrentCancellationStress) {
   std::atomic<bool> stop{false};
   std::atomic<size_t> completed{0}, cancelled{0}, poisoned{0};
 
-  std::vector<std::thread> readers;
+  std::vector<std::thread> readers;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&, t] {
       QueryContext ctx(t + 7);

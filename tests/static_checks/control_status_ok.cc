@@ -1,0 +1,29 @@
+// Positive control: every sanctioned way of consuming a Status/Result must
+// compile under -Werror=unused-result. If this snippet breaks, the harness
+// flags (not the tree) are wrong.
+
+#include "util/status.h"
+
+namespace {
+
+mbi::Status DoWork() { return mbi::Status::Ok(); }
+mbi::Result<int> Compute() { return 42; }
+
+mbi::Status Propagate() {
+  MBI_RETURN_IF_ERROR(DoWork());
+  return mbi::Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  mbi::Status s = DoWork();
+  if (!s.ok()) return 1;
+  if (!Propagate().ok()) return 1;
+
+  mbi::Result<int> r = Compute();
+  if (!r.ok() || r.value() != 42) return 1;
+
+  MBI_IGNORE_STATUS(DoWork());  // explicit discard is the sanctioned spelling
+  return 0;
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE under -Werror=unused-result: Result<T> is [[nodiscard]]
+// just like Status — a dropped Result loses both the value and the error.
+
+#include "util/status.h"
+
+namespace {
+mbi::Result<int> Compute() { return 42; }
+}  // namespace
+
+int main() {
+  Compute();  // discarded Result — must be rejected
+  return 0;
+}

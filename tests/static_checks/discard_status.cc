@@ -1,0 +1,14 @@
+// MUST NOT COMPILE under -Werror=unused-result: Status is [[nodiscard]],
+// so silently dropping one is a build error. If this snippet starts
+// compiling, the attribute was lost.
+
+#include "util/status.h"
+
+namespace {
+mbi::Status DoWork() { return mbi::Status::Ok(); }
+}  // namespace
+
+int main() {
+  DoWork();  // discarded Status — the whole point of this snippet
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Positive control for the thread-safety analysis: touching a
+// MBI_GUARDED_BY field with the mutex held (directly or via a
+// MBI_REQUIRES helper) is clean under -Werror=thread-safety.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() MBI_EXCLUDES(mu_) {
+    mbi::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  int Get() MBI_EXCLUDES(mu_) {
+    mbi::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() MBI_REQUIRES(mu_) { ++value_; }
+
+  mbi::Mutex mu_;
+  int value_ MBI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under Clang -Werror=thread-safety: writes a
+// MBI_GUARDED_BY field without holding its mutex. If this snippet starts
+// compiling under Clang, the annotation macros stopped expanding (or the
+// flags were dropped) and the whole capability layer is dead weight.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // no lock: the data race under test
+
+ private:
+  mbi::Mutex mu_;
+  int value_ MBI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}
