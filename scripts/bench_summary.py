@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Collect BENCH_*.json artifacts into a single BENCH_SUMMARY.json.
+
+Every benchmark binary drops a BENCH_<name>.json next to where it ran
+(bench_common.h WriteMetrics for the metrics-shaped ones, bench_scenarios
+for the scenario harness). This script sweeps the given directories,
+normalises both shapes, and writes one summary document so CI can upload
+a single artifact and reviewers can diff headline numbers in one place.
+
+Usage:
+    scripts/bench_summary.py [--out BENCH_SUMMARY.json] [DIR ...]
+
+With no DIR arguments it looks in ./build and . (the two places benches
+are normally run from). Exit status is 1 when any scenario run reported
+an invariant violation, so the CI job that regenerates the summary also
+gates on it.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_bench_files(dirs):
+    """Return {bench_name: parsed_json}, later dirs winning on collision."""
+    docs = {}
+    for d in dirs:
+        for path in sorted(glob.glob(os.path.join(d, "BENCH_*.json"))):
+            name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+            if name == "SUMMARY":
+                continue
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    docs[name] = (path, json.load(f))
+            except (OSError, json.JSONDecodeError) as e:
+                print(f"bench_summary: skipping {path}: {e}", file=sys.stderr)
+    return docs
+
+
+def summarise_metrics(doc):
+    """bench_common.h shape: {"meta": {...}, "metrics": {flat floats}}."""
+    return {
+        "kind": "metrics",
+        "meta": doc.get("meta", {}),
+        "metrics": doc.get("metrics", {}),
+    }
+
+
+def summarise_scenarios(doc):
+    """bench_scenarios shape: {"runs": [...], "ok": bool, ...}.
+
+    Event-log fingerprints are deterministic per (scenario, seed, mode) in
+    deterministic mode, so keeping them in the summary turns it into a
+    cheap cross-machine replay check.
+    """
+    runs = []
+    for r in doc.get("runs", []):
+        runs.append({
+            "scenario": r.get("scenario"),
+            "mode": r.get("mode"),
+            "ok": r.get("ok"),
+            "event_log_fingerprint": r.get("event_log_fingerprint"),
+            "events": r.get("events"),
+            "stats": r.get("stats", {}),
+            "violations": r.get("violations", []),
+        })
+    return {
+        "kind": "scenarios",
+        "seed": doc.get("seed"),
+        "soak": doc.get("soak"),
+        "ok": doc.get("ok"),
+        "runs": runs,
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_SUMMARY.json")
+    ap.add_argument("dirs", nargs="*", default=None)
+    args = ap.parse_args()
+    dirs = args.dirs or ["build", "."]
+
+    docs = load_bench_files(dirs)
+    if not docs:
+        print(f"bench_summary: no BENCH_*.json found under {dirs}",
+              file=sys.stderr)
+        return 1
+
+    summary = {"benches": {}}
+    violations = 0
+    for name in sorted(docs):
+        path, doc = docs[name]
+        if "runs" in doc:
+            entry = summarise_scenarios(doc)
+            for r in entry["runs"]:
+                violations += len(r["violations"])
+        else:
+            entry = summarise_metrics(doc)
+        entry["source"] = path
+        summary["benches"][name] = entry
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"bench_summary: wrote {args.out} "
+          f"({len(docs)} bench file(s), {violations} violation(s))")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

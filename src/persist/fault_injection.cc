@@ -1,6 +1,7 @@
 #include "persist/fault_injection.h"
 
 #include "util/mutex.h"
+#include "util/rng.h"
 
 namespace mbi::persist {
 
@@ -11,6 +12,43 @@ Status Injected(const char* what) {
 }
 
 }  // namespace
+
+FaultScheduleGenerator::FaultScheduleGenerator(
+    const FaultScheduleParams& params)
+    : params_(params), rng_state_(params.seed) {}
+
+FaultPlan FaultScheduleGenerator::Next() {
+  // SplitMix64 stream: one fixed number of draws per plan, so plan i is a
+  // pure function of (seed, i) regardless of which faults fire.
+  SplitMix64 rng(rng_state_);
+  FaultPlan plan;
+  const double u_write = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+  const uint64_t kind_draw = rng.Next();
+  const uint64_t trigger_draw = rng.Next();
+  const double u_op = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+  const uint64_t op_draw = rng.Next();
+  rng_state_ = rng.Next();  // fold the stream forward for the next plan
+  ++plans_drawn_;
+
+  if (u_write < params_.write_fault_probability) {
+    static constexpr FaultPlan::WriteFault kFaults[] = {
+        FaultPlan::WriteFault::kShortWrite, FaultPlan::WriteFault::kEio,
+        FaultPlan::WriteFault::kDiskFull, FaultPlan::WriteFault::kCrash};
+    const uint64_t n = params_.allow_crash ? 4 : 3;
+    plan.write_fault = kFaults[kind_draw % n];
+    plan.trigger_bytes =
+        params_.byte_span > 0 ? trigger_draw % params_.byte_span : 0;
+  }
+  if (u_op < params_.operation_fault_probability) {
+    switch (op_draw % 4) {
+      case 0: plan.fail_flush = true; break;
+      case 1: plan.fail_sync = true; break;
+      case 2: plan.fail_close = true; break;
+      default: plan.fail_rename = true; break;
+    }
+  }
+  return plan;
+}
 
 /// Wraps one writable file; all fault state lives in the owning file system
 /// so the byte counter spans every file of a checkpoint. `base_` is null for

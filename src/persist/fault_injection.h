@@ -56,6 +56,49 @@ struct FaultPlan {
   bool fail_read_close = false;
 };
 
+/// Knobs for seed-derived fault sequences (FaultScheduleGenerator).
+struct FaultScheduleParams {
+  uint64_t seed = 0;
+
+  /// Write-fault triggers are drawn uniformly from [0, byte_span). Size it
+  /// to the expected bytes of the operation under test (a trigger beyond
+  /// the write volume simply never fires — a benign no-fault run).
+  uint64_t byte_span = 1 << 20;
+
+  /// Probability that a drawn plan injects a byte-triggered write fault.
+  double write_fault_probability = 0.7;
+
+  /// Probability that a drawn plan arms one one-shot operation fault
+  /// (flush/sync/close/rename). Independent of the write fault.
+  double operation_fault_probability = 0.2;
+
+  /// Permit kCrash among the write faults. Crash plans zombify the whole
+  /// file system until the next SetPlan, so drivers that keep writing
+  /// through one schedule may want faults that fail-and-continue only.
+  bool allow_crash = true;
+};
+
+/// Deterministic stream of FaultPlans: the same (params.seed, call count)
+/// yields the same plan, so a whole fault campaign is reproducible from one
+/// seed — the scenario harness derives its checkpoint-fault schedules here,
+/// and torture tests can sweep seeds instead of hand-rolling plan tables.
+class FaultScheduleGenerator {
+ public:
+  explicit FaultScheduleGenerator(const FaultScheduleParams& params);
+
+  /// The next plan in the sequence. May be a no-fault plan (both
+  /// probabilities miss) — schedules model flaky disks, not certain ones.
+  FaultPlan Next();
+
+  /// Plans drawn so far.
+  uint64_t plans_drawn() const { return plans_drawn_; }
+
+ private:
+  FaultScheduleParams params_;
+  uint64_t rng_state_;
+  uint64_t plans_drawn_ = 0;
+};
+
 class FaultInjectingFileSystem final : public FileSystem {
  public:
   explicit FaultInjectingFileSystem(FileSystem* base) : base_(base) {}

@@ -1,0 +1,68 @@
+#include "scenario/event_log.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "persist/crc32c.h"
+
+namespace mbi::scenario {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPhaseStart: return "phase-start";
+    case EventKind::kPhaseEnd: return "phase-end";
+    case EventKind::kAddAck: return "add-ack";
+    case EventKind::kCheckpointBegin: return "checkpoint-begin";
+    case EventKind::kCheckpointCommit: return "checkpoint-commit";
+    case EventKind::kCheckpointFault: return "checkpoint-fault";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRecover: return "recover";
+    case EventKind::kQuery: return "query";
+    case EventKind::kShed: return "shed";
+    case EventKind::kInvariant: return "invariant";
+    case EventKind::kOverloadBurst: return "overload-burst";
+  }
+  return "unknown";
+}
+
+size_t EventLog::Count(EventKind kind) const {
+  size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+uint32_t EventLog::Fingerprint() const {
+  uint32_t crc = 0;
+  for (const Event& e : events_) {
+    // Pack explicitly rather than hashing the struct: padding bytes would
+    // make the fingerprint build-dependent.
+    unsigned char buf[1 + 4 + 8 * 3];
+    buf[0] = static_cast<unsigned char>(e.kind);
+    std::memcpy(buf + 1, &e.phase, 4);
+    std::memcpy(buf + 5, &e.a, 8);
+    std::memcpy(buf + 13, &e.b, 8);
+    std::memcpy(buf + 21, &e.c, 8);
+    crc = persist::Crc32cExtend(crc, buf, sizeof(buf));
+  }
+  return crc;
+}
+
+std::string EventLog::ToString() const {
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    std::snprintf(line, sizeof(line),
+                  "%6zu  ph%-2u %-17s a=%llu b=%llu c=%llu\n", i, e.phase,
+                  EventKindName(e.kind),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b),
+                  static_cast<unsigned long long>(e.c));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mbi::scenario

@@ -1,6 +1,9 @@
 #include "util/budget.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "util/clock.h"
 
 namespace mbi {
 
@@ -23,7 +26,7 @@ int64_t InjectedDistanceDelayNanos() {
 }  // namespace budget_testing
 
 BudgetTracker::BudgetTracker(const QueryBudget* budget)
-    : budget_(budget), start_(Deadline::Clock::now()) {
+    : budget_(budget), start_nanos_(NowNanos()) {
   if (budget_ == nullptr) return;
   delay_nanos_ = budget_testing::InjectedDistanceDelayNanos();
   if (!budget_->deadline.infinite()) {
@@ -54,17 +57,20 @@ void BudgetTracker::SlowCheck() {
 
 void BudgetTracker::InjectDelay(uint64_t n) {
   // Busy-wait: sleep granularity (~50us+) would swamp microsecond-scale
-  // injected delays and make overshoot assertions meaningless.
+  // injected delays and make overshoot assertions meaningless. This is the
+  // one sanctioned direct steady_clock read (see util/clock.h): it models
+  // physical compute cost, which must pass even when logical time is frozen
+  // under a VirtualClock.
+  using PhysicalClock = std::chrono::steady_clock;
   const auto until =
-      Deadline::Clock::now() +
+      PhysicalClock::now() +
       std::chrono::nanoseconds(delay_nanos_ * static_cast<int64_t>(n));
-  while (Deadline::Clock::now() < until) {
+  while (PhysicalClock::now() < until) {
   }
 }
 
 double BudgetTracker::ElapsedSeconds() const {
-  return std::chrono::duration<double>(Deadline::Clock::now() - start_)
-      .count();
+  return static_cast<double>(NowNanos() - start_nanos_) * 1e-9;
 }
 
 double BudgetTracker::FractionRemaining() const {

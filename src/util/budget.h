@@ -24,28 +24,27 @@
 #define MBI_UTIL_BUDGET_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <limits>
 
 #include "core/types.h"
+#include "util/clock.h"
 
 namespace mbi {
 
-/// A wall-clock deadline on the monotonic clock. Default-constructed
-/// deadlines are infinite (never expire).
+/// A wall-clock deadline on the injectable monotonic clock (util/clock.h).
+/// Default-constructed deadlines are infinite (never expire). Under a
+/// VirtualClock a deadline expires only when the test or scenario driver
+/// advances time — deterministic degradation, same seed same answer.
 class Deadline {
  public:
-  using Clock = std::chrono::steady_clock;
-
   Deadline() = default;
 
   /// A deadline `seconds` from now (<= 0 means already expired).
   static Deadline After(double seconds) {
     Deadline d;
     d.has_deadline_ = true;
-    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(seconds));
+    d.at_nanos_ = NowNanos() + static_cast<int64_t>(seconds * 1e9);
     return d;
   }
 
@@ -53,18 +52,18 @@ class Deadline {
 
   bool infinite() const { return !has_deadline_; }
 
-  bool Expired() const { return has_deadline_ && Clock::now() >= at_; }
+  bool Expired() const { return has_deadline_ && NowNanos() >= at_nanos_; }
 
   /// Seconds until expiry; +inf for an infinite deadline, 0 when expired.
   double RemainingSeconds() const {
     if (!has_deadline_) return std::numeric_limits<double>::infinity();
-    const double r = std::chrono::duration<double>(at_ - Clock::now()).count();
+    const double r = static_cast<double>(at_nanos_ - NowNanos()) * 1e-9;
     return r > 0.0 ? r : 0.0;
   }
 
  private:
   bool has_deadline_ = false;
-  Clock::time_point at_{};
+  int64_t at_nanos_ = 0;
 };
 
 /// A cooperative cancellation flag shared between the caller (any thread)
@@ -213,7 +212,7 @@ class BudgetTracker {
   bool exhausted_ = false;
   DegradeReason reason_ = DegradeReason::kNone;
   double deadline_total_seconds_ = 0.0;  // <= 0 when no deadline
-  Deadline::Clock::time_point start_{};
+  int64_t start_nanos_ = 0;              // global-clock query start
 };
 
 }  // namespace mbi

@@ -1,35 +1,35 @@
 // Wall-clock timing helpers for benches and progress accounting.
+//
+// Reads the injectable global clock (util/clock.h), so build timings and
+// bench readouts freeze deterministically under a VirtualClock instead of
+// leaking real time into seed-replayed scenario runs.
 
 #ifndef MBI_UTIL_TIMER_H_
 #define MBI_UTIL_TIMER_H_
 
-#include <chrono>
 #include <cstdint>
+
+#include "util/clock.h"
 
 namespace mbi {
 
 /// Monotonic stopwatch. Starts on construction; Restart() re-arms it.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_nanos_(NowNanos()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_nanos_ = NowNanos(); }
 
   /// Elapsed time in seconds since construction or last Restart().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(NowNanos() - start_nanos_) * 1e-9;
   }
 
   /// Elapsed time in microseconds.
-  int64_t ElapsedMicros() const {
-    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                 start_)
-        .count();
-  }
+  int64_t ElapsedMicros() const { return (NowNanos() - start_nanos_) / 1000; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_nanos_;
 };
 
 }  // namespace mbi

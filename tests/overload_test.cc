@@ -4,7 +4,9 @@
 // (scripts/sanitize_smoke.sh --tsan overload_test).
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -287,6 +289,77 @@ TEST_F(OverloadFixture, ConcurrentCancellationStress) {
 
   EXPECT_EQ(poisoned.load(), 0u);
   EXPECT_GT(completed.load() + cancelled.load(), 0u);
+}
+
+// ----------------------- checkpoint racing admitted, deadline-bounded load
+
+// Checkpoint is documented safe during live queries (it works off a pinned
+// ReadView). Prove it under the worst client: admission-limited,
+// deadline-bounded queries kept in flight by an injected distance delay
+// while checkpoints run back to back — then recover from the directory and
+// verify the checkpointed state survived the contention.
+TEST_F(OverloadFixture, CheckpointRacesDeadlineBoundedAdmittedQueries) {
+  MbiParams p;
+  p.leaf_size = 250;
+  p.build.degree = 12;
+  p.max_inflight_queries = 3;
+  auto index = MakeIndex(p, kN);
+
+  const std::string dir = ::testing::TempDir() + "/overload_ckpt_race";
+
+  budget_testing::ScopedDistanceDelay delay(2000);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> ok{0}, shed{0}, poisoned{0};
+
+  std::vector<std::thread> readers;  // mbi-lint: allow(naked-thread) — stresses SWMR from raw threads
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&, t] {
+      QueryContext ctx(t + 31);
+      SearchParams sp;
+      sp.k = 10;
+      QueryBudget budget = QueryBudget::WithDeadline(0.002);
+      sp.budget = &budget;
+      const TimeWindow w{data_.timestamps[0], data_.timestamps[kN - 1]};
+      while (!stop.load(std::memory_order_acquire)) {
+        budget = QueryBudget::WithDeadline(0.002);
+        Result<SearchResult> r = index->SearchAdmitted(
+            queries_.data() + (t % 16) * kDim, w, sp, &ctx);
+        if (!r.ok()) {
+          if (r.status().code() == StatusCode::kResourceExhausted) {
+            shed.fetch_add(1);
+          } else {
+            poisoned.fetch_add(1);
+          }
+          continue;
+        }
+        ok.fetch_add(1);
+        for (const Neighbor& nb : r.value()) {
+          const Timestamp ts = index->store().GetTimestamp(nb.id);
+          if (!w.Contains(ts)) poisoned.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Checkpointer: back-to-back checkpoints while the readers hammer away.
+  size_t checkpoints = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(index->Checkpoint(dir).ok());
+    ++checkpoints;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(poisoned.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_EQ(checkpoints, 5u);
+  EXPECT_LE(index->inflight_high_water(), p.max_inflight_queries);
+
+  // The directory must recover to exactly the live index's committed state.
+  Result<std::unique_ptr<MbiIndex>> rec = MbiIndex::Recover(dir);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec.value()->size(), index->size());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -380,30 +380,95 @@ TEST(CheckpointFileTest, AtomicWritePreservesOldFileOnEveryFault) {
   const std::string path = TempPath("persist_atomic");
   fs.SetPlan(FaultPlan{});
   const auto fill_old = [](BinaryWriter* w) { return w->Write<uint64_t>(1); };
-  const auto fill_new = [](BinaryWriter* w) { return w->Write<uint64_t>(2); };
   ASSERT_TRUE(persist::WriteFramedFile(&fs, path, "TESTMAG1", fill_old).ok());
 
-  FaultPlan plans[4];
-  plans[0].write_fault = FaultPlan::WriteFault::kShortWrite;
-  plans[0].trigger_bytes = 9;
-  plans[1].write_fault = FaultPlan::WriteFault::kEio;
-  plans[1].trigger_bytes = 20;
-  plans[2].fail_sync = true;
-  plans[3].fail_rename = true;
-  for (const FaultPlan& plan : plans) {
-    fs.SetPlan(plan);
-    EXPECT_FALSE(persist::WriteFramedFile(&fs, path, "TESTMAG1", fill_new).ok());
+  // Seed-derived fault campaign instead of a hand-rolled plan table: 32
+  // drawn plans mix byte-triggered write faults with one-shot sync/close/
+  // rename faults (and the occasional benign no-fault draw). The atomicity
+  // property is fault-agnostic: after every attempt the file must read back
+  // clean with the value of the last *successful* write — never a torn mix.
+  persist::FaultScheduleParams sched;
+  sched.seed = 20240807;
+  sched.byte_span = 40;  // the framed file is ~28 bytes, so most plans fire
+  sched.write_fault_probability = 0.8;
+  sched.operation_fault_probability = 0.5;
+  sched.allow_crash = false;  // crash zombies are covered by the sweeps below
+  persist::FaultScheduleGenerator gen(sched);
+
+  uint64_t expected = 1;
+  size_t faulted = 0;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const uint64_t next = 2 + static_cast<uint64_t>(attempt);
+    const auto fill = [next](BinaryWriter* w) {
+      return w->Write<uint64_t>(next);
+    };
+    fs.SetPlan(gen.Next());
+    const Status written = persist::WriteFramedFile(&fs, path, "TESTMAG1", fill);
     fs.SetPlan(FaultPlan{});
-    EXPECT_FALSE(fs.FileExists(path + ".tmp"));  // tmp cleaned up
+    if (written.ok()) {
+      expected = next;
+    } else {
+      ++faulted;
+      EXPECT_FALSE(fs.FileExists(path + ".tmp"));  // tmp cleaned up
+    }
     uint64_t value = 0;
     ASSERT_TRUE(persist::ReadFramedFile(&fs, path, "TESTMAG1",
                                         [&](BinaryReader* r) {
                                           return r->Read<uint64_t>(&value);
                                         })
-                    .ok());
-    EXPECT_EQ(value, 1u);  // old contents intact
+                    .ok())
+        << "attempt " << attempt;
+    EXPECT_EQ(value, expected) << "attempt " << attempt;
   }
+  EXPECT_GT(faulted, 0u);  // the campaign actually injected faults
+  EXPECT_EQ(gen.plans_drawn(), 32u);
   ASSERT_TRUE(fs.DeleteFile(path).ok());
+}
+
+TEST(FaultScheduleTest, SameSeedSamePlans) {
+  persist::FaultScheduleParams params;
+  params.seed = 99;
+  persist::FaultScheduleGenerator a(params);
+  persist::FaultScheduleGenerator b(params);
+  bool any_fault = false;
+  for (int i = 0; i < 64; ++i) {
+    const FaultPlan pa = a.Next();
+    const FaultPlan pb = b.Next();
+    EXPECT_EQ(static_cast<int>(pa.write_fault),
+              static_cast<int>(pb.write_fault));
+    EXPECT_EQ(pa.trigger_bytes, pb.trigger_bytes);
+    EXPECT_EQ(pa.fail_flush, pb.fail_flush);
+    EXPECT_EQ(pa.fail_sync, pb.fail_sync);
+    EXPECT_EQ(pa.fail_close, pb.fail_close);
+    EXPECT_EQ(pa.fail_rename, pb.fail_rename);
+    any_fault |= pa.write_fault != FaultPlan::WriteFault::kNone;
+  }
+  EXPECT_TRUE(any_fault);  // defaults draw write faults at p=0.7
+
+  // A different seed diverges somewhere in the stream.
+  persist::FaultScheduleParams other = params;
+  other.seed = 100;
+  persist::FaultScheduleGenerator c(other);
+  persist::FaultScheduleGenerator d(params);
+  bool diverged = false;
+  for (int i = 0; i < 64; ++i) {
+    const FaultPlan pc = c.Next();
+    const FaultPlan pd = d.Next();
+    diverged |= pc.trigger_bytes != pd.trigger_bytes ||
+                pc.write_fault != pd.write_fault;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultScheduleTest, NoCrashPlansWhenDisallowed) {
+  persist::FaultScheduleParams params;
+  params.seed = 7;
+  params.write_fault_probability = 1.0;
+  params.allow_crash = false;
+  persist::FaultScheduleGenerator gen(params);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_NE(gen.Next().write_fault, FaultPlan::WriteFault::kCrash);
+  }
 }
 
 // ---------------------------------------------------------------------------
