@@ -1,0 +1,253 @@
+// Sharded scatter-gather harness runner: replays the shard catalog
+// scenarios (brownout, crash/requery) and emits BENCH_sharded.json with
+// per-run stats — hedges fired, shed retries, quarantines, partial
+// results — plus event-log fingerprints and any invariant violations.
+//
+//   ./build/bench_sharded --scenario=shard_brownout --seed=42
+//   ./build/bench_sharded --scenario=all --mode=concurrent
+//   ./build/bench_sharded --list
+//
+// Flags:
+//   --scenario=<name|all>   which shard catalog entry to run (default all)
+//   --seed=N                scenario seed (default 42)
+//   --mode=<deterministic|concurrent|both>   default both
+//   --soak                  long variants (also enabled by MBI_SOAK=1)
+//   --verbose               dump the full event log of each run
+//
+// Exit status is non-zero when any invariant was violated, so CI can gate
+// on this binary directly.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "scenario/driver.h"
+#include "scenario/invariants.h"
+#include "shard/shard_scenario.h"
+#include "util/timer.h"
+
+namespace {
+
+using mbi::scenario::RunMode;
+using mbi::scenario::RunModeName;
+using mbi::scenario::RunOptions;
+using mbi::scenario::ScenarioOutcome;
+using mbi::scenario::Violation;
+using mbi::shard::GetShardScenario;
+using mbi::shard::RunShardScenario;
+using mbi::shard::ShardCatalogNames;
+using mbi::shard::ShardScenarioSpec;
+
+struct Flags {
+  std::string scenario = "all";
+  uint64_t seed = 42;
+  std::string mode = "both";
+  bool soak = false;
+  bool verbose = false;
+  bool list = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* f) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* sv = value("--scenario=")) {
+      f->scenario = sv;
+    } else if (const char* dv = value("--seed=")) {
+      f->seed = std::strtoull(dv, nullptr, 10);
+    } else if (const char* mv = value("--mode=")) {
+      f->mode = mv;
+    } else if (arg == "--soak") {
+      f->soak = true;
+    } else if (arg == "--verbose") {
+      f->verbose = true;
+    } else if (arg == "--list") {
+      f->list = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (f->mode != "deterministic" && f->mode != "concurrent" &&
+      f->mode != "both") {
+    std::fprintf(stderr, "--mode must be deterministic|concurrent|both\n");
+    return false;
+  }
+  return true;
+}
+
+void WriteOutcomeJson(mbi::obs::JsonWriter* w, const ScenarioOutcome& o,
+                      double run_seconds) {
+  w->BeginObject();
+  w->Key("scenario");
+  w->String(o.name);
+  w->Key("seed");
+  w->Uint(o.seed);
+  w->Key("mode");
+  w->String(RunModeName(o.mode));
+  w->Key("ok");
+  w->Bool(o.ok());
+  w->Key("event_log_fingerprint");
+  w->Uint(o.log.Fingerprint());
+  w->Key("events");
+  w->Uint(o.log.size());
+  w->Key("run_seconds");
+  w->Double(run_seconds);
+
+  w->Key("stats");
+  w->BeginObject();
+  w->Key("add_ops");
+  w->Uint(o.stats.add_ops);
+  w->Key("queries");
+  w->Uint(o.stats.queries);
+  w->Key("complete");
+  w->Uint(o.stats.complete);
+  w->Key("degraded");
+  w->Uint(o.stats.degraded);
+  w->Key("hedges");
+  w->Uint(o.stats.hedges);
+  w->Key("shard_retries");
+  w->Uint(o.stats.shard_retries);
+  w->Key("quarantines");
+  w->Uint(o.stats.quarantines);
+  w->Key("partial_results");
+  w->Uint(o.stats.partial_results);
+  w->Key("checkpoints_committed");
+  w->Uint(o.stats.checkpoints_committed);
+  w->Key("checkpoint_faults");
+  w->Uint(o.stats.checkpoint_faults);
+  w->Key("crashes");
+  w->Uint(o.stats.crashes);
+  w->Key("recoveries");
+  w->Uint(o.stats.recoveries);
+  w->Key("final_size");
+  w->Uint(o.stats.final_size);
+  w->Key("final_blocks");
+  w->Uint(o.stats.final_blocks);
+  w->Key("recall_mean");
+  w->Double(o.stats.recall_mean);
+  w->Key("recall_samples");
+  w->Uint(o.stats.recall_samples);
+  w->EndObject();
+
+  w->Key("violations");
+  w->BeginArray();
+  for (const Violation& v : o.violations) {
+    w->BeginObject();
+    w->Key("invariant");
+    w->String(mbi::scenario::InvariantName(v.id));
+    w->Key("detail");
+    w->String(v.detail);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+  if (flags.list) {
+    for (const std::string& name : ShardCatalogNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  const char* soak_env = std::getenv("MBI_SOAK");
+  if (soak_env != nullptr && soak_env[0] == '1') flags.soak = true;
+
+  std::vector<std::string> names;
+  if (flags.scenario == "all") {
+    names = ShardCatalogNames();
+  } else {
+    names.push_back(flags.scenario);
+  }
+  std::vector<RunMode> modes;
+  if (flags.mode != "concurrent") modes.push_back(RunMode::kDeterministic);
+  if (flags.mode != "deterministic") modes.push_back(RunMode::kConcurrent);
+
+  std::printf("sharded harness: %zu scenario(s), seed %llu, %s variants\n",
+              names.size(), static_cast<unsigned long long>(flags.seed),
+              flags.soak ? "soak" : "short");
+
+  mbi::obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("sharded");
+  json.Key("seed");
+  json.Uint(flags.seed);
+  json.Key("soak");
+  json.Bool(flags.soak);
+  json.Key("runs");
+  json.BeginArray();
+
+  bool all_ok = true;
+  for (const std::string& name : names) {
+    mbi::Result<ShardScenarioSpec> spec =
+        GetShardScenario(name, flags.seed, flags.soak);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    for (RunMode mode : modes) {
+      RunOptions opts;
+      opts.mode = mode;
+      mbi::WallTimer timer;
+      mbi::Result<ScenarioOutcome> run = RunShardScenario(spec.value(), opts);
+      const double seconds = timer.ElapsedSeconds();
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s [%s]: harness failure: %s\n", name.c_str(),
+                     RunModeName(mode), run.status().ToString().c_str());
+        return 2;
+      }
+      const ScenarioOutcome& o = run.value();
+      std::printf(
+          "%-22s %-13s %5.2fs  adds=%zu queries=%zu degraded=%zu hedges=%zu "
+          "retries=%zu partial=%zu quarantines=%zu recoveries=%zu "
+          "recall=%.3f/%zu  fp=%08x  %s\n",
+          o.name.c_str(), RunModeName(mode), seconds, o.stats.add_ops,
+          o.stats.queries, o.stats.degraded, o.stats.hedges,
+          o.stats.shard_retries, o.stats.partial_results, o.stats.quarantines,
+          o.stats.recoveries, o.stats.recall_mean, o.stats.recall_samples,
+          o.log.Fingerprint(), o.ok() ? "OK" : "VIOLATIONS");
+      if (!o.ok()) {
+        all_ok = false;
+        std::printf("%s", o.ViolationSummary().c_str());
+      }
+      if (flags.verbose) std::printf("%s", o.log.ToString().c_str());
+      WriteOutcomeJson(&json, o, seconds);
+      std::fflush(stdout);
+    }
+  }
+
+  json.EndArray();
+  json.Key("ok");
+  json.Bool(all_ok);
+  json.EndObject();
+
+  const std::string path = "BENCH_sharded.json";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f != nullptr) {
+    const std::string& doc = json.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("\nmetrics: wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+
+  if (!all_ok) {
+    std::fprintf(stderr, "\ninvariant violations detected\n");
+    return 1;
+  }
+  std::printf("all shard scenarios passed\n");
+  return 0;
+}

@@ -54,10 +54,11 @@ inline const char* CompletionName(Completion c) {
 /// Which budget dimension forced a degraded answer.
 enum class DegradeReason : uint8_t {
   kNone = 0,
-  kDeadlineExceeded = 1,  ///< wall-clock deadline expired
-  kDistanceBudget = 2,    ///< max distance computations reached
-  kHopBudget = 3,         ///< max graph hops reached
-  kCancelled = 4,         ///< CancellationToken flipped mid-query
+  kDeadlineExceeded = 1,   ///< wall-clock deadline expired
+  kDistanceBudget = 2,     ///< max distance computations reached
+  kHopBudget = 3,          ///< max graph hops reached
+  kCancelled = 4,          ///< CancellationToken flipped mid-query
+  kShardUnavailable = 5,   ///< sharded search: one or more shards missing
 };
 
 inline const char* DegradeReasonName(DegradeReason r) {
@@ -67,6 +68,7 @@ inline const char* DegradeReasonName(DegradeReason r) {
     case DegradeReason::kDistanceBudget: return "distance-budget";
     case DegradeReason::kHopBudget: return "hop-budget";
     case DegradeReason::kCancelled: return "cancelled";
+    case DegradeReason::kShardUnavailable: return "shard-unavailable";
   }
   return "unknown";
 }
@@ -93,7 +95,21 @@ struct SearchResult : public std::vector<Neighbor> {
   /// results only; the skipped blocks are the lowest-overlap ones).
   size_t blocks_skipped = 0;
 
+  /// Sharded queries: per-shard completion accounting. `shards_total` is the
+  /// number of shards the planner selected for this window; `shards_ok` is
+  /// how many contributed results to the merge. Both zero for unsharded
+  /// queries. A 7/8-shard answer is degraded-but-never-invalid: every
+  /// neighbor present is exact, the missing shard only lowers coverage.
+  uint32_t shards_total = 0;
+  uint32_t shards_ok = 0;
+
   bool degraded() const { return completion == Completion::kDegraded; }
+
+  /// Fraction of selected shards that answered; 1.0 for unsharded queries.
+  double ShardCoverage() const {
+    if (shards_total == 0) return 1.0;
+    return static_cast<double>(shards_ok) / static_cast<double>(shards_total);
+  }
 };
 
 }  // namespace mbi

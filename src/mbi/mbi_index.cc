@@ -429,10 +429,13 @@ Result<SearchResult> MbiIndex::SearchAdmitted(const float* query,
     // caller can retry beats joining an unbounded queue.
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
     QueryMetrics::Get().shed->Increment();
+    // Structured retry-after payload for retry policies; the message keeps
+    // the same hint in prose for humans reading logs.
     return Status::ResourceExhausted(
-        "query shed: " + std::to_string(limit) +
-        " queries already in flight; retry after " +
-        std::to_string(params_.shed_retry_after_seconds) + " s");
+               "query shed: " + std::to_string(limit) +
+               " queries already in flight; retry after " +
+               std::to_string(params_.shed_retry_after_seconds) + " s")
+        .WithRetryAfter(params_.shed_retry_after_seconds);
   }
   // Track the admission high-water mark (tests assert it never exceeds the
   // configured limit).

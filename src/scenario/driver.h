@@ -76,6 +76,12 @@ struct ScenarioStats {
   double p99_overshoot = 0.0;
   size_t overshoot_samples = 0;
   double wall_seconds = 0.0;  ///< physical, not logged (nondeterministic)
+
+  // Sharded scatter-gather runs only (src/shard/shard_scenario.h):
+  size_t hedges = 0;           ///< backup probes launched
+  size_t shard_retries = 0;    ///< shed retries consumed across all probes
+  size_t quarantines = 0;      ///< shards taken out of rotation
+  size_t partial_results = 0;  ///< queries answered with < full shard coverage
 };
 
 struct ScenarioOutcome {

@@ -21,6 +21,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kShed: return "shed";
     case EventKind::kInvariant: return "invariant";
     case EventKind::kOverloadBurst: return "overload-burst";
+    case EventKind::kHedge: return "hedge";
+    case EventKind::kQuarantine: return "quarantine";
   }
   return "unknown";
 }

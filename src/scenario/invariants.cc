@@ -16,6 +16,8 @@ const char* InvariantName(InvariantId id) {
     case InvariantId::kResultValidity: return "degraded-never-invalid";
     case InvariantId::kMetricsConsistency: return "metrics-consistency";
     case InvariantId::kAdmissionBound: return "admission-bound";
+    case InvariantId::kShardOracleMatch: return "shard-oracle-match";
+    case InvariantId::kShardRetryBudget: return "shard-retry-budget";
   }
   return "unknown";
 }

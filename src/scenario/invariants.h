@@ -47,6 +47,11 @@ enum class InvariantId : uint64_t {
   kResultValidity = 4,
   kMetricsConsistency = 5,
   kAdmissionBound = 6,
+  // Sharded scatter-gather (src/shard, checked by shard scenarios):
+  kShardOracleMatch = 7,   ///< all-healthy merges bit-match a single-index
+                           ///< oracle over the same rows
+  kShardRetryBudget = 8,   ///< retries consumed <= probed shards *
+                           ///< backoff.max_retries, per query
 };
 
 const char* InvariantName(InvariantId id);

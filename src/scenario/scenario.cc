@@ -75,4 +75,8 @@ uint64_t DeriveSeed(uint64_t scenario_seed, SeedStream stream, uint64_t salt) {
   return salted.Next();
 }
 
+uint64_t DeriveSeed(uint64_t scenario_seed, std::string_view name) {
+  return DeriveSeedStream(scenario_seed, name);
+}
+
 }  // namespace mbi::scenario

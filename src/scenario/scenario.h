@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/distance.h"
@@ -140,6 +141,13 @@ enum class SeedStream : uint64_t {
 /// The sub-seed of `stream` (optionally salted, e.g. by thread id).
 uint64_t DeriveSeed(uint64_t scenario_seed, SeedStream stream,
                     uint64_t salt = 0);
+
+/// String-keyed sibling for open-ended component sets, where an enum per
+/// component doesn't scale — e.g. DeriveSeed(seed, "shard/3") gives shard 3
+/// its own fault schedule without touching any other shard's stream.
+/// Thin alias of util/rng.h's DeriveSeedStream so scenario specs and
+/// library code derive identical streams from identical keys.
+uint64_t DeriveSeed(uint64_t scenario_seed, std::string_view name);
 
 }  // namespace mbi::scenario
 

@@ -1,0 +1,57 @@
+// Bounded exponential backoff with deterministic jitter.
+//
+// Retry loops against overloaded components (a shard shedding load, a
+// checkpoint racing a busy disk) must not retry in lockstep: N callers that
+// all saw the same shed and all sleep exactly `retry_after` re-arrive as the
+// same thundering herd. BackoffPolicy computes per-attempt delays that grow
+// exponentially, honor a structured server hint as a *floor* (the server
+// knows when capacity frees up; backing off less than it asked is rude), and
+// spread callers with seeded jitter so replays stay bit-reproducible.
+
+#ifndef MBI_UTIL_BACKOFF_H_
+#define MBI_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace mbi {
+
+/// The shape of one retry schedule. Delays for attempt a (0-based retry
+/// index) start at `initial_seconds * multiplier^a`, are capped at
+/// `max_seconds`, floored by any server-provided retry-after hint, and
+/// jittered into [delay * (1 - jitter), delay] by a seeded stream.
+struct BackoffPolicy {
+  double initial_seconds = 0.001;
+  double multiplier = 2.0;
+  double max_seconds = 0.050;
+  double jitter = 0.25;         ///< fraction of the delay randomized away
+  uint32_t max_retries = 2;     ///< retries after the first attempt
+
+  /// Delay before retry `attempt` (0-based). `hint_seconds` is the server's
+  /// structured retry-after (< 0 = none); `jitter_seed` makes the jitter
+  /// deterministic per (query, shard, attempt).
+  double DelaySeconds(uint32_t attempt, double hint_seconds,
+                      uint64_t jitter_seed) const {
+    double delay = initial_seconds;
+    for (uint32_t i = 0; i < attempt; ++i) delay *= multiplier;
+    delay = std::min(delay, max_seconds);
+    if (jitter > 0.0) {
+      SplitMix64 sm(jitter_seed);
+      const double u =
+          static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;  // [0, 1)
+      delay *= 1.0 - jitter * u;
+    }
+    // The hint floors the delay but is still bounded by max_seconds: a
+    // misbehaving (or fault-injected) hint must not park a query forever.
+    if (hint_seconds >= 0.0) {
+      delay = std::max(delay, std::min(hint_seconds, max_seconds));
+    }
+    return delay;
+  }
+};
+
+}  // namespace mbi
+
+#endif  // MBI_UTIL_BACKOFF_H_

@@ -23,6 +23,7 @@
 #ifndef MBI_UTIL_BUDGET_H_
 #define MBI_UTIL_BUDGET_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -101,6 +102,25 @@ struct QueryBudget {
   bool Bounded() const {
     return !deadline.infinite() || max_distance_evals != 0 || max_hops != 0 ||
            cancellation != nullptr;
+  }
+
+  /// Child budget for one of `shares` concurrent sub-searches (shard
+  /// fan-out). The deadline and cancellation token are *shared* — sub-
+  /// searches run in parallel against the same wall clock — while the work
+  /// caps are divided so the fan-out as a whole spends no more distance
+  /// evaluations or hops than the parent allowed. `shares` must be >= 1.
+  QueryBudget Slice(size_t shares) const {
+    QueryBudget child = *this;
+    if (shares > 1) {
+      if (max_distance_evals != 0) {
+        child.max_distance_evals =
+            std::max<uint64_t>(1, max_distance_evals / shares);
+      }
+      if (max_hops != 0) {
+        child.max_hops = std::max<uint64_t>(1, max_hops / shares);
+      }
+    }
+    return child;
   }
 };
 

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 namespace mbi {
 
@@ -101,6 +102,24 @@ class Rng {
 
   uint64_t state_[4];
 };
+
+/// Derives an independent, reproducible seed stream from a root seed and a
+/// string key (e.g. "shard/3", "shard/3/faults"). Same (seed, name) pair,
+/// same derived seed — forever — so scenario specs can target one component
+/// (one shard's fault schedule, one worker's workload) without perturbing
+/// any other stream. FNV-1a folds the name into the root seed, then two
+/// SplitMix64 steps decorrelate adjacent names the same way the enum-keyed
+/// scenario::DeriveSeed decorrelates adjacent streams.
+inline uint64_t DeriveSeedStream(uint64_t seed, std::string_view name) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64-bit offset basis
+  for (const char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;  // FNV 64-bit prime
+  }
+  SplitMix64 sm(seed ^ h);
+  sm.Next();
+  return sm.Next();
+}
 
 }  // namespace mbi
 

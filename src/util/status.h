@@ -26,6 +26,7 @@ enum class StatusCode {
   kDataLoss,
   kInternal,
   kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -40,6 +41,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -89,10 +91,29 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// A component (shard, replica, backend) cannot serve right now and the
+  /// caller should not expect a quick retry to succeed — route around it.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Structured retry-after payload. Retry policies (shard scatter-gather,
+  /// client backoff) must read this accessor, never parse the human-readable
+  /// message. A negative value means "no hint".
+  Status&& WithRetryAfter(double seconds) && {
+    retry_after_seconds_ = seconds;
+    return std::move(*this);
+  }
+  Status& WithRetryAfter(double seconds) & {
+    retry_after_seconds_ = seconds;
+    return *this;
+  }
+  bool has_retry_after() const { return retry_after_seconds_ >= 0.0; }
+  double retry_after_seconds() const { return retry_after_seconds_; }
 
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const {
@@ -103,6 +124,7 @@ class [[nodiscard]] Status {
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  double retry_after_seconds_ = -1.0;  // < 0: no structured hint attached
 };
 
 /// Result<T>: either a value or an error Status (never both).

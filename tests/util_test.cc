@@ -46,6 +46,23 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(codes.size(), 6u);
 }
 
+TEST(StatusTest, StructuredRetryAfterHint) {
+  Status plain = Status::ResourceExhausted("shed");
+  EXPECT_FALSE(plain.has_retry_after());
+
+  Status hinted =
+      Status::ResourceExhausted("shed; retry after 0.01s").WithRetryAfter(0.01);
+  EXPECT_TRUE(hinted.has_retry_after());
+  EXPECT_DOUBLE_EQ(hinted.retry_after_seconds(), 0.01);
+  // The human-readable message survives alongside the structured payload.
+  EXPECT_NE(hinted.message().find("retry after"), std::string::npos);
+
+  // The hint rides through copies (retry loops pass Status by value).
+  Status copy = hinted;
+  EXPECT_TRUE(copy.has_retry_after());
+  EXPECT_DOUBLE_EQ(copy.retry_after_seconds(), 0.01);
+}
+
 TEST(StatusTest, ReturnIfErrorPropagates) {
   auto inner = []() { return Status::NotFound("x"); };
   auto outer = [&]() -> Status {
