@@ -26,6 +26,7 @@ std::vector<float> RandomVec(size_t n, uint64_t seed) {
 void BM_L2Distance(benchmark::State& state) {
   const size_t dim = state.range(0);
   auto a = RandomVec(dim, 1), b = RandomVec(dim, 2);
+  // mbi-lint: allow(budget-charge) — kernel microbenchmark, no budget
   for (auto _ : state) {
     benchmark::DoNotOptimize(L2SquaredDistance(a.data(), b.data(), dim));
   }
@@ -36,6 +37,7 @@ BENCHMARK(BM_L2Distance)->Arg(32)->Arg(96)->Arg(128)->Arg(960);
 void BM_AngularDistance(benchmark::State& state) {
   const size_t dim = state.range(0);
   auto a = RandomVec(dim, 3), b = RandomVec(dim, 4);
+  // mbi-lint: allow(budget-charge) — kernel microbenchmark, no budget
   for (auto _ : state) {
     benchmark::DoNotOptimize(AngularDistance(a.data(), b.data(), dim));
   }

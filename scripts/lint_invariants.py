@@ -1,20 +1,8 @@
 #!/usr/bin/env python3
-"""Domain-invariant lint for the MBI tree.
+"""Text-level domain lint for the MBI tree.
 
-Checks repo-specific rules that clang-tidy cannot express:
+Checks the rules that are best expressed as source-text scans:
 
-  naked-thread      std::thread outside src/util/ — production code must go
-                    through util::ThreadPool so shutdown, error capture and
-                    thread-safety annotations stay in one place. Stress
-                    tests that deliberately hammer the single-writer
-                    contract from raw threads carry an allow comment.
-  naked-new         `new` outside src/util/ — ownership must be expressed
-                    with std::make_unique/std::make_shared (or an allowed
-                    intentional leak, e.g. the metrics registry singleton).
-  raw-mutex         std::mutex / lock_guard / unique_lock / scoped_lock /
-                    condition_variable outside src/util/ — use the annotated
-                    mbi::Mutex / MutexLock / CondVar wrappers so Clang's
-                    thread-safety analysis sees every critical section.
   unchecked-memcpy  memcpy whose length is neither an integer literal nor a
                     sizeof-expression, outside src/persist/ — framed readers
                     in persist/ validate lengths against the frame header;
@@ -23,13 +11,29 @@ Checks repo-specific rules that clang-tidy cannot express:
   header-guard      every header must open with #pragma once or an
                     #ifndef/#define include guard.
 
+The AST-level rules that used to live here (naked-thread, naked-new,
+raw-mutex) are now owned by tools/mbi_analyzer/mbi_analyzer.py, which checks
+them against the clang AST instead of regexes. This script still recognizes
+their names in waiver comments so it can distinguish "waives an analyzer
+rule" from "waives nothing at all".
+
 Any violation can be waived with an inline comment on the same line or the
 line above:
 
     // mbi-lint: allow(<rule>) — why this site is fine
 
+Waivers are themselves checked:
+
+  * a waiver naming a rule that no check recognizes is an `unknown-waiver`
+    violation (likely a typo);
+  * a waiver for one of THIS script's rules that does not suppress any
+    finding is a `stale-waiver` violation — the code it excused is gone.
+    Run with --fix-stale to strip such waivers in place. Staleness of
+    analyzer-owned waivers is judged by the analyzer, not here.
+
 Usage:
     scripts/lint_invariants.py [--compile-commands build/compile_commands.json]
+                               [--fix-stale]
 
 When a compilation database is given, the scanned .cc set is taken from it
 (so generated or excluded TUs are skipped automatically); headers are always
@@ -46,16 +50,20 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SCAN_DIRS = ("src", "tests", "bench", "examples")
-UTIL_EXEMPT = ("naked-thread", "naked-new", "raw-mutex")
+
+# Rules this script enforces.
+TEXT_RULES = ("unchecked-memcpy", "header-guard")
+# Rules owned by tools/mbi_analyzer (AST-level). Waivers naming these are
+# legal here; their staleness is the analyzer's business.
+ANALYZER_RULES = frozenset({
+    "wall-clock", "unseeded-entropy", "pointer-key", "budget-charge",
+    "unchecked-result", "ignore-status", "lock-coverage",
+    "naked-thread", "naked-new", "raw-mutex",
+})
+KNOWN_RULES = frozenset(TEXT_RULES) | ANALYZER_RULES
 
 ALLOW_RE = re.compile(r"//\s*mbi-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
-RAW_MUTEX_RE = re.compile(
-    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
-    r"unique_lock|scoped_lock|shared_lock|condition_variable(?:_any)?)\b"
-)
-NAKED_THREAD_RE = re.compile(r"std::(?:thread|jthread)\b")
-NAKED_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (ptr) T` placement stays legal
 MEMCPY_RE = re.compile(r"\bmemcpy\s*\(")
 TRUSTED_LEN_RE = re.compile(r"sizeof\b|^\s*\d+\s*$")
 
@@ -90,15 +98,16 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
-def allowed_rules(raw_lines: list[str], lineno: int) -> set[str]:
-    """Rules waived for 1-based `lineno` (same line or the line above)."""
-    rules: set[str] = set()
+def waiver_sites(raw_lines: list[str], lineno: int) -> list[tuple[int, str]]:
+    """(waiver_line, rule) pairs waiving 1-based `lineno` (same line/above)."""
+    sites: list[tuple[int, str]] = []
     for ln in (lineno, lineno - 1):
         if 1 <= ln <= len(raw_lines):
             m = ALLOW_RE.search(raw_lines[ln - 1])
             if m:
-                rules.update(r.strip() for r in m.group(1).split(","))
-    return rules
+                sites.extend(
+                    (ln, r.strip()) for r in m.group(1).split(","))
+    return sites
 
 
 def extract_call_args(code: str, open_paren: int) -> list[str]:
@@ -122,20 +131,22 @@ def extract_call_args(code: str, open_paren: int) -> list[str]:
 class Linter:
     def __init__(self) -> None:
         self.violations: list[tuple[pathlib.Path, int, str, str]] = []
+        # (rel, waiver_line, rule) waivers that suppressed a finding.
+        self.consumed: set[tuple[pathlib.Path, int, str]] = set()
 
-    def report(self, path: pathlib.Path, lineno: int, rule: str, msg: str,
+    def report(self, rel: pathlib.Path, lineno: int, rule: str, msg: str,
                raw_lines: list[str]) -> None:
-        if rule in allowed_rules(raw_lines, lineno):
-            return
-        self.violations.append((path, lineno, rule, msg))
+        for wline, wrule in waiver_sites(raw_lines, lineno):
+            if wrule == rule:
+                self.consumed.add((rel, wline, rule))
+                return
+        self.violations.append((rel, lineno, rule, msg))
 
     def lint_file(self, path: pathlib.Path) -> None:
         rel = path.relative_to(REPO)
         text = path.read_text(encoding="utf-8")
         raw_lines = text.splitlines()
         code = strip_comments_and_strings(text)
-        code_lines = code.splitlines()
-        in_util = rel.parts[:2] == ("src", "util")
         in_persist = rel.parts[:2] == ("src", "persist")
 
         if path.suffix == ".h":
@@ -145,22 +156,6 @@ class Linter:
                 self.report(rel, 1, "header-guard",
                             "header lacks #pragma once or an include guard",
                             raw_lines)
-
-        for idx, line in enumerate(code_lines, start=1):
-            if not in_util:
-                if NAKED_THREAD_RE.search(line):
-                    self.report(rel, idx, "naked-thread",
-                                "raw std::thread; use util::ThreadPool",
-                                raw_lines)
-                if RAW_MUTEX_RE.search(line):
-                    self.report(rel, idx, "raw-mutex",
-                                "raw std:: synchronization primitive; use the "
-                                "annotated mbi::Mutex/MutexLock/CondVar",
-                                raw_lines)
-                if NAKED_NEW_RE.search(line) and "#include" not in line:
-                    self.report(rel, idx, "naked-new",
-                                "naked new; use std::make_unique/make_shared",
-                                raw_lines)
 
         if not in_persist:
             for m in MEMCPY_RE.finditer(code):
@@ -175,6 +170,64 @@ class Linter:
                         f"memcpy length `{length}` is neither a literal nor "
                         "sizeof-derived; validate it or move the parse into "
                         "a persist/ framed reader", raw_lines)
+
+    def check_waivers(self, path: pathlib.Path) -> list[tuple[int, str]]:
+        """Scans every waiver comment in `path` for rot.
+
+        Returns the (lineno, rule) pairs that are stale for THIS script's
+        rules, so --fix-stale can strip them. Unknown rule names are
+        reported as violations directly.
+        """
+        rel = path.relative_to(REPO)
+        stale: list[tuple[int, str]] = []
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+        for idx, line in enumerate(raw_lines, start=1):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            for rule in (r.strip() for r in m.group(1).split(",")):
+                if rule not in KNOWN_RULES:
+                    self.violations.append(
+                        (rel, idx, "unknown-waiver",
+                         f"waiver names `{rule}`, which no lint rule "
+                         "recognizes (typo?)"))
+                elif (rule in TEXT_RULES
+                      and (rel, idx, rule) not in self.consumed):
+                    stale.append((idx, rule))
+                    self.violations.append(
+                        (rel, idx, "stale-waiver",
+                         f"waiver for `{rule}` no longer suppresses "
+                         "anything; remove it (or run --fix-stale)"))
+        return stale
+
+
+def fix_stale(path: pathlib.Path, stale: list[tuple[int, str]]) -> None:
+    """Strips the given stale (lineno, rule) waivers from `path` in place."""
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    by_line: dict[int, set[str]] = {}
+    for lineno, rule in stale:
+        by_line.setdefault(lineno, set()).add(rule)
+    out: list[str] = []
+    for idx, line in enumerate(lines, start=1):
+        dead = by_line.get(idx)
+        if not dead:
+            out.append(line)
+            continue
+        m = ALLOW_RE.search(line)
+        kept = [r.strip() for r in m.group(1).split(",")
+                if r.strip() not in dead]
+        if kept:
+            line = (line[:m.start()]
+                    + f"// mbi-lint: allow({', '.join(kept)})"
+                    + line[m.end():])
+            out.append(line)
+        else:
+            # Drop the whole comment (the trailing rationale goes with it);
+            # drop the whole line if no code remains.
+            stripped = re.sub(r"//\s*$", "", line[:m.start()]).rstrip()
+            if stripped:
+                out.append(stripped + "\n")
+    path.write_text("".join(out), encoding="utf-8")
 
 
 def collect_files(compile_commands: pathlib.Path | None) -> list[pathlib.Path]:
@@ -199,6 +252,9 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--compile-commands", type=pathlib.Path, default=None,
                     help="compile_commands.json to take the .cc file set from")
+    ap.add_argument("--fix-stale", action="store_true",
+                    help="strip stale waivers for this script's rules in "
+                         "place instead of just reporting them")
     args = ap.parse_args()
 
     linter = Linter()
@@ -208,6 +264,16 @@ def main() -> int:
         return 2
     for f in files:
         linter.lint_file(f)
+    fixed = 0
+    for f in files:
+        stale = linter.check_waivers(f)
+        if stale and args.fix_stale:
+            fix_stale(f, stale)
+            fixed += len(stale)
+    if args.fix_stale and fixed:
+        print(f"lint_invariants: stripped {fixed} stale waiver(s)")
+        linter.violations = [
+            v for v in linter.violations if v[2] != "stale-waiver"]
 
     for path, lineno, rule, msg in linter.violations:
         print(f"{path}:{lineno}: [{rule}] {msg}")

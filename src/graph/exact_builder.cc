@@ -45,6 +45,7 @@ KnnGraph BuildExactKnnGraph(const VectorSlice& rows, size_t n,
 
   for (size_t i = 0; i < n; ++i) {
     const float* vi = rows.row(i);
+    // mbi-lint: allow(budget-charge) — offline O(n^2) build, no query budget
     for (size_t j = i + 1; j < n; ++j) {
       float d = dist(vi, rows.row(j));
       offer(i, d, static_cast<NodeId>(j));

@@ -111,6 +111,7 @@ std::vector<NodeId> HnswGraph::SelectNeighbors(
   for (const Neighbor& c : candidates) {
     if (kept.size() >= m) break;
     bool dominated = false;
+    // mbi-lint: allow(budget-charge) — insert-time diversity heuristic
     for (NodeId g : kept) {
       float d = dist(rows.row(static_cast<size_t>(c.id)),
                      rows.row(static_cast<size_t>(g)));
@@ -184,6 +185,7 @@ void HnswGraph::Build(const VectorSlice& rows, size_t n,
           std::vector<Neighbor> pruned;
           pruned.reserve(back.size());
           const float* base = rows.row(static_cast<size_t>(nb));
+          // mbi-lint: allow(budget-charge) — insert-time back-link prune
           for (NodeId x : back) {
             pruned.push_back({dist(base, rows.row(static_cast<size_t>(x))),
                               static_cast<VectorId>(x)});

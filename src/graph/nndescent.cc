@@ -127,6 +127,7 @@ KnnGraph BuildNnDescentGraph(const VectorSlice& rows, size_t n,
         if (std::find(picks.begin(), picks.end(), u) != picks.end()) continue;
         picks.push_back(u);
       }
+      // mbi-lint: allow(budget-charge) — build-side init, no query budget
       for (NodeId u : picks) {
         pools[v].Insert(dist(rows.row(v), rows.row(u)), u);
       }
@@ -211,6 +212,7 @@ KnnGraph BuildNnDescentGraph(const VectorSlice& rows, size_t n,
       for (size_t i = 0; i < cand_new.size(); ++i) {
         NodeId p1 = cand_new[i];
         // new x new (unordered pairs)
+        // mbi-lint: allow(budget-charge) — build-side refinement pass
         for (size_t j = i + 1; j < cand_new.size(); ++j) {
           NodeId p2 = cand_new[j];
           if (p1 == p2) continue;
@@ -219,6 +221,7 @@ KnnGraph BuildNnDescentGraph(const VectorSlice& rows, size_t n,
           try_update(p2, p1, d);
         }
         // new x old
+        // mbi-lint: allow(budget-charge) — build-side refinement pass
         for (NodeId p2 : cand_old) {
           if (p1 == p2) continue;
           float d = dist(rows.row(p1), rows.row(p2));

@@ -60,6 +60,8 @@ class FaultInjectingWritableFile final : public WritableFile {
                              std::unique_ptr<WritableFile> base)
       : fs_(fs), base_(std::move(base)) {}
 
+  // Best-effort close on destruction; callers that care already called
+  // Close() and saw its status.
   ~FaultInjectingWritableFile() override { MBI_IGNORE_STATUS(Close()); }
 
   Status Append(const void* data, size_t size) override {
@@ -73,6 +75,8 @@ class FaultInjectingWritableFile final : public WritableFile {
   Status Flush() override {
     MutexLock lock(fs_->mu_);
     if (fs_->crashed_) {
+      // Post-crash the file is a sink: flush the real file so pre-crash
+      // bytes materialize, but the simulated crash hides any error.
       if (base_ != nullptr) MBI_IGNORE_STATUS(base_->Flush());
       return Status::Ok();
     }
@@ -86,6 +90,7 @@ class FaultInjectingWritableFile final : public WritableFile {
   Status Sync() override {
     MutexLock lock(fs_->mu_);
     if (fs_->crashed_) {
+      // Same as Flush() above: post-crash sinks swallow real-file errors.
       if (base_ != nullptr) MBI_IGNORE_STATUS(base_->Flush());
       return Status::Ok();
     }
@@ -108,6 +113,8 @@ class FaultInjectingWritableFile final : public WritableFile {
     }
     if (fs_->plan_.fail_close) {
       fs_->plan_.fail_close = false;
+      // The injected failure is the status being reported; the real file's
+      // close outcome is irrelevant to the simulation.
       MBI_IGNORE_STATUS(base->Close());
       return Injected("close failure");
     }

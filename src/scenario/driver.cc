@@ -782,6 +782,7 @@ Result<ScenarioOutcome> Driver::Run() {
   // Physical wall time for the stats block only — never logged, so it does
   // not affect replay determinism.
   using PhysicalClock = std::chrono::steady_clock;
+  // mbi-lint: allow(wall-clock) — stats-only reading, outside the event log
   const PhysicalClock::time_point wall_start = PhysicalClock::now();
 
   if (opts_.mode == RunMode::kDeterministic) {
@@ -813,8 +814,10 @@ Result<ScenarioOutcome> Driver::Run() {
   outcome_.stats.shed = shed_;
   outcome_.stats.final_size = index_->size();
   outcome_.stats.final_blocks = index_->num_blocks();
+  const PhysicalClock::time_point wall_end =
+      PhysicalClock::now();  // mbi-lint: allow(wall-clock) — stats-only
   outcome_.stats.wall_seconds =
-      std::chrono::duration<double>(PhysicalClock::now() - wall_start).count();
+      std::chrono::duration<double>(wall_end - wall_start).count();
 
   Teardown();
   return std::move(outcome_);

@@ -35,6 +35,7 @@ SearchResult ExactOracleTopK(const VectorStore& store, size_t view_size,
   VectorId id = range.begin;
   while (id < range.end) {
     const VectorStore::ContiguousRun run = store.Run(id, range.end);
+    // mbi-lint: allow(budget-charge) — exact oracle, deliberately unbudgeted
     for (size_t i = 0; i < run.count; ++i) {
       heap.Push(dist(query, run.data + i * store.dim()),
                 id + static_cast<VectorId>(i));
@@ -56,6 +57,7 @@ std::string CheckResultValidity(const VectorStore& store, size_t view_size,
   }
   const DistanceFunction& dist = store.distance();
   float prev = -std::numeric_limits<float>::infinity();
+  // mbi-lint: allow(budget-charge) — invariant recompute, not a query path
   for (size_t i = 0; i < result.size(); ++i) {
     const Neighbor& nb = result[i];
     if (nb.id < 0 || static_cast<size_t>(nb.id) >= view_size) {

@@ -295,6 +295,7 @@ class ShardDriver {
     const DistanceFunction& dist = oracle_->distance();
     float prev = -std::numeric_limits<float>::infinity();
     int64_t prev_id = -1;
+    // mbi-lint: allow(budget-charge) — I7 oracle recompute, unbudgeted
     for (size_t i = 0; i < result.size(); ++i) {
       const Neighbor& nb = result[i];
       if (nb.id < 0 || static_cast<size_t>(nb.id) >= committed) {

@@ -8,7 +8,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <thread>  // mbi-lint: allow(raw-thread) — the pool owns its workers
+#include <thread>  // the pool owns its workers (naked-thread is util-exempt)
 #include <vector>
 
 #include "util/mutex.h"

@@ -267,6 +267,38 @@ TEST(ShardedMbi, ShedsAreRetriedWithBackoff) {
   EXPECT_EQ(res.value().shards_ok, 4u);
 }
 
+TEST(ShardedMbi, RunawayRetryAfterHintIsCappedByBackoffMax) {
+  // A shed carrying an absurd structured hint (30s) must not park the
+  // query: BackoffPolicy floors the delay at the hint but clamps it to
+  // max_seconds. With a 2ms cap this completes in milliseconds — if the
+  // clamp regressed, the retries would sleep for the full hint and the
+  // test would time out.
+  ShardedMbiParams p = FlatParams(25);
+  p.backoff.max_retries = 2;
+  p.backoff.max_seconds = 0.002;
+  p.enable_hedging = false;  // keep the scripted shed sequence race-free
+  ShardedMbi index(8, Metric::kL2, p);
+  FillSharded(&index, 100, 47);
+
+  auto injector = std::make_shared<ScriptedInjector>();
+  for (int i = 0; i < 2; ++i) {
+    injector->Push(2, ShardProbeFault{
+        Status::ResourceExhausted("shed").WithRetryAfter(30.0), 0.0});
+  }
+  index.SetFaultInjectorForTesting(injector);
+
+  SearchParams sp;
+  sp.k = 10;
+  QueryContext ctx(3);
+  const float q[8] = {};
+  ShardQueryTrace trace;
+  auto res = index.Search(q, TimeWindow::All(), sp, &ctx, &trace);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.value().degraded());
+  EXPECT_EQ(trace.retries_total, 2u);
+  EXPECT_EQ(trace.shards_ok, 4u);
+}
+
 TEST(ShardedMbi, RetryBudgetExhaustionDegradesToPartialResult) {
   ShardedMbiParams p = FlatParams(25);
   p.backoff.max_retries = 1;

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/backoff.h"
 #include "util/io.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -70,6 +71,74 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
     return Status::Ok();
   };
   EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, RetryAfterSurvivesReturnIfError) {
+  // The structured hint must ride the whole propagation chain a real shed
+  // takes: factory -> MBI_RETURN_IF_ERROR -> nested MBI_RETURN_IF_ERROR,
+  // so the retry loop at the top still sees the server's floor.
+  auto shed = []() {
+    return Status::ResourceExhausted("shed").WithRetryAfter(0.25);
+  };
+  auto relay = [&]() -> Status {
+    MBI_RETURN_IF_ERROR(shed());
+    return Status::Ok();
+  };
+  auto outer = [&]() -> Status {
+    MBI_RETURN_IF_ERROR(relay());
+    return Status::Ok();
+  };
+  Status propagated = outer();
+  EXPECT_EQ(propagated.code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(propagated.has_retry_after());
+  EXPECT_DOUBLE_EQ(propagated.retry_after_seconds(), 0.25);
+}
+
+TEST(StatusTest, RetryAfterRidesResult) {
+  Result<int> shed(Status::ResourceExhausted("shed").WithRetryAfter(0.5));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().has_retry_after());
+  EXPECT_DOUBLE_EQ(shed.status().retry_after_seconds(), 0.5);
+}
+
+// ---------------------------------------------------------- BackoffPolicy
+
+TEST(BackoffPolicyTest, HintFloorsButMaxCaps) {
+  BackoffPolicy policy;
+  policy.initial_seconds = 0.001;
+  policy.multiplier = 2.0;
+  policy.max_seconds = 0.050;
+  policy.jitter = 0.0;
+
+  // No hint: plain exponential growth capped at max_seconds.
+  EXPECT_DOUBLE_EQ(policy.DelaySeconds(0, -1.0, 7), 0.001);
+  EXPECT_DOUBLE_EQ(policy.DelaySeconds(1, -1.0, 7), 0.002);
+  EXPECT_DOUBLE_EQ(policy.DelaySeconds(10, -1.0, 7), 0.050);
+
+  // A server hint larger than the schedule floors the delay...
+  EXPECT_DOUBLE_EQ(policy.DelaySeconds(0, 0.010, 7), 0.010);
+  // ...but a runaway hint is still clamped by max_seconds.
+  EXPECT_DOUBLE_EQ(policy.DelaySeconds(0, 10.0, 7), 0.050);
+  // A hint smaller than the schedule does not shrink the backoff.
+  EXPECT_DOUBLE_EQ(policy.DelaySeconds(10, 0.001, 7), 0.050);
+}
+
+TEST(BackoffPolicyTest, JitterIsDeterministicPerSeed) {
+  BackoffPolicy policy;
+  policy.jitter = 0.25;
+  const double a1 = policy.DelaySeconds(2, -1.0, 42);
+  const double a2 = policy.DelaySeconds(2, -1.0, 42);
+  const double b = policy.DelaySeconds(2, -1.0, 43);
+  EXPECT_DOUBLE_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  // Jitter only shaves the delay, never extends it past the schedule.
+  const double unjittered = [&] {
+    BackoffPolicy no_jitter = policy;
+    no_jitter.jitter = 0.0;
+    return no_jitter.DelaySeconds(2, -1.0, 42);
+  }();
+  EXPECT_LE(a1, unjittered);
+  EXPECT_GE(a1, unjittered * 0.75);
 }
 
 TEST(ResultTest, HoldsValue) {

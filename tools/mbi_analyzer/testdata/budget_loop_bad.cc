@@ -1,0 +1,24 @@
+// Fixture: a loop that burns distance kernels without charging any
+// BudgetTracker — exactly the shape that escapes the deadline machinery.
+#include <cstddef>
+
+#include "core/distance.h"
+
+float SumDistances(const float* base, const float* q, size_t n, size_t dim) {
+  float total = 0.0f;
+  for (size_t i = 0; i < n; ++i) {  // expect: budget-charge
+    total += mbi::L2SquaredDistance(q, base + i * dim, dim);
+  }
+  return total;
+}
+
+float SumDispatched(const float* base, const float* q, size_t n,
+                    const mbi::DistanceFunction& dist, size_t dim) {
+  float total = 0.0f;
+  size_t i = 0;
+  while (i < n) {  // expect: budget-charge
+    total += dist(q, base + i * dim);
+    ++i;
+  }
+  return total;
+}

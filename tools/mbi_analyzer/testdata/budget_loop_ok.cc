@@ -1,0 +1,44 @@
+// Fixture (negative): distance loops that charge the tracker directly, or
+// hand it to a callee on some path, satisfy the budget-charge rule.
+#include <cstddef>
+
+#include "core/distance.h"
+#include "util/budget.h"
+
+float SumCharged(const float* base, const float* q, size_t n, size_t dim,
+                 mbi::BudgetTracker* budget) {
+  float total = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    if (!budget->ChargeDistance()) break;
+    total += mbi::L2SquaredDistance(q, base + i * dim, dim);
+  }
+  return total;
+}
+
+// The amortized sub-batch idiom from the exact scans: the inner loop burns
+// kernels, the enclosing loop charges once per batch.
+float SumAmortized(const float* base, const float* q, size_t n, size_t dim,
+                   mbi::BudgetTracker* budget) {
+  float total = 0.0f;
+  const size_t kBatch = 64;
+  for (size_t lo = 0; lo < n; lo += kBatch) {
+    const size_t hi = lo + kBatch < n ? lo + kBatch : n;
+    for (size_t i = lo; i < hi; ++i) {
+      total += mbi::L2SquaredDistance(q, base + i * dim, dim);
+    }
+    if (!budget->ChargeDistance(hi - lo)) break;
+  }
+  return total;
+}
+
+void NoteProgress(mbi::BudgetTracker* budget);
+
+float SumDelegated(const float* base, const float* q, size_t n, size_t dim,
+                   mbi::BudgetTracker* budget) {
+  float total = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    NoteProgress(budget);  // charging is the callee's job
+    total += mbi::AngularDistance(q, base + i * dim, dim);
+  }
+  return total;
+}

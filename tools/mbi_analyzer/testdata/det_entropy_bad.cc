@@ -1,0 +1,11 @@
+// Fixture: unseeded entropy — rand(), std::random_device, and
+// default-constructed engines all break seed-derived replay.
+#include <cstdlib>
+#include <random>
+
+unsigned Entropy() {
+  unsigned a = static_cast<unsigned>(::rand());  // expect: unseeded-entropy
+  std::random_device rd;                         // expect: unseeded-entropy
+  std::mt19937 gen;                              // expect: unseeded-entropy
+  return a + rd() + static_cast<unsigned>(gen());
+}

@@ -1,0 +1,9 @@
+// Fixture (negative): explicitly seeded engines are deterministic and fine —
+// the ban is on *unseeded* entropy, not on std RNG engines per se.
+#include <random>
+
+unsigned Seeded(unsigned long long seed) {
+  std::mt19937_64 gen(seed);
+  std::minstd_rand lcg(static_cast<unsigned>(seed | 1u));
+  return static_cast<unsigned>(gen()) + lcg();
+}

@@ -1,0 +1,14 @@
+// Fixture: pointer-keyed containers — iteration / bucket order depends on
+// address-space layout, which leaks nondeterminism into anything that merges
+// or walks them.
+#include <map>
+#include <set>
+#include <unordered_set>
+
+struct Node {
+  int id;
+};
+
+std::map<const Node*, int> g_rank;       // expect: pointer-key
+std::set<Node*> g_live;                  // expect: pointer-key
+std::unordered_set<const Node*> g_seen;  // expect: pointer-key

@@ -1,0 +1,12 @@
+// Fixture (negative): pointer *values* and integer keys are fine — only the
+// key position of an ordered/hashed container is order-relevant.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+struct Node {
+  int id;
+};
+
+std::map<int, const Node*> g_by_id;
+std::unordered_map<std::uint64_t, Node*> g_by_ts;

@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads outside src/util/ must be flagged — replay
+// determinism only survives if time flows through util/clock.h.
+#include <chrono>
+#include <ctime>
+
+long WallNow() {
+  auto a = std::chrono::system_clock::now();  // expect: wall-clock
+  auto b = std::chrono::steady_clock::now();  // expect: wall-clock
+  std::time_t c = ::time(nullptr);            // expect: wall-clock
+  (void)a;
+  (void)b;
+  return static_cast<long>(c);
+}

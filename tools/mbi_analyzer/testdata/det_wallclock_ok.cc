@@ -1,0 +1,15 @@
+// Fixture (negative): a project-local clock type whose method happens to be
+// called now()/Now() is not a wall-clock read.
+namespace fixture {
+
+struct FakeClock {
+  long now_nanos = 0;
+  long now() { return now_nanos++; }
+};
+
+}  // namespace fixture
+
+long Sample() {
+  fixture::FakeClock clock;
+  return clock.now() + clock.now();
+}

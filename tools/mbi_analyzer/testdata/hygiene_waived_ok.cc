@@ -1,0 +1,10 @@
+// Fixture (negative): a justified waiver suppresses the finding and is
+// consumed — it must NOT come back as stale.
+#include <mutex>
+
+void Waived() {
+  // mbi-lint: allow(raw-mutex) — fixture exercises waiver consumption
+  std::mutex mu;
+  mu.lock();
+  mu.unlock();
+}

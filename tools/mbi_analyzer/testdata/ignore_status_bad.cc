@@ -1,0 +1,8 @@
+// Fixture: MBI_IGNORE_STATUS without a justification comment.
+#include "util/status.h"
+
+mbi::Status Ping();
+
+void Fire() {
+  MBI_IGNORE_STATUS(Ping()); /* expect: ignore-status */
+}

@@ -1,0 +1,11 @@
+// Fixture (negative): justified discards — comment on the same line or the
+// line above both count.
+#include "util/status.h"
+
+mbi::Status Ping();
+
+void Fire() {
+  MBI_IGNORE_STATUS(Ping());  // best-effort fixture ping; failure is benign
+  // Cleanup path: the original error is already being reported.
+  MBI_IGNORE_STATUS(Ping());
+}

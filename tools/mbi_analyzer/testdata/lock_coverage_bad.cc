@@ -1,0 +1,16 @@
+// Fixture: a field written while its class's Mutex is held, but not
+// MBI_GUARDED_BY-annotated — new lock-coverage debt (the self-test runs
+// against an empty ratchet, so this must surface as a finding).
+#include "util/mutex.h"
+
+class Counter {
+ public:
+  void Bump() {
+    mbi::MutexLock lock(mu_);
+    total_ = total_ + 1;
+  }
+
+ private:
+  mbi::Mutex mu_;
+  long total_ = 0;  // expect: lock-coverage
+};

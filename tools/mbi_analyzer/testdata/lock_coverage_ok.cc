@@ -1,0 +1,18 @@
+// Fixture (negative): the same write is clean once the field carries
+// MBI_GUARDED_BY — and writes in MBI_REQUIRES methods count as lock-held.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Bump() {
+    mbi::MutexLock lock(mu_);
+    BumpLocked();
+  }
+
+ private:
+  void BumpLocked() MBI_REQUIRES(mu_) { total_ = total_ + 1; }
+
+  mbi::Mutex mu_;
+  long total_ MBI_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,10 @@
+// Fixture: Result::value() with no dominating ok()/status() check — the
+// error path would terminate the process.
+#include "util/status.h"
+
+mbi::Result<int> Make();
+
+int Unchecked() {
+  mbi::Result<int> r = Make();
+  return r.value();  // expect: unchecked-result
+}

@@ -1,0 +1,18 @@
+// Fixture (negative): both sanctioned guard idioms — an explicit ok() branch
+// and the dominant MBI_RETURN_IF_ERROR(r.status()) pattern.
+#include "util/status.h"
+
+mbi::Result<int> Make();
+
+int UseOk(int fallback) {
+  mbi::Result<int> r = Make();
+  if (!r.ok()) return fallback;
+  return r.value();
+}
+
+mbi::Status UseMacro(int* out) {
+  mbi::Result<int> r = Make();
+  MBI_RETURN_IF_ERROR(r.status());
+  *out = r.value();
+  return mbi::Status();
+}

@@ -1,0 +1,9 @@
+// Fixture: suppressions must not rot — a waiver that no longer suppresses
+// anything, and a waiver naming a rule no tool knows, are both errors.
+int Identity(int x) {
+  return x;  // mbi-lint: allow(wall-clock) — nothing here. expect: stale-waiver
+}
+
+int Twice(int x) {
+  return 2 * x;  // mbi-lint: allow(not-a-rule) expect: unknown-waiver
+}
